@@ -1,0 +1,68 @@
+//! §VIII ablations: the design-choice sweeps DESIGN.md calls out.
+//!
+//! * I/O-wait policy — busy-wait (measured reality) vs deep idle (the
+//!   paper's proposed improvement).
+//! * Storage power proportionality — how proportional would the rack have
+//!   to be before in-situ saves real power?
+//! * Stripe count — OSS parallelism vs the effective α.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ivis_bench::{ablation_iowait_rows, ablation_storage_proportionality_rows};
+use ivis_cluster::IoWaitPolicy;
+use ivis_core::campaign::Campaign;
+use ivis_core::{PipelineConfig, PipelineKind};
+use ivis_sim::SimTime;
+use ivis_storage::layout::StripeLayout;
+use ivis_storage::pfs::PfsConfig;
+use ivis_storage::ParallelFileSystem;
+
+fn bench_ablations(c: &mut Criterion) {
+    for row in ablation_iowait_rows() {
+        println!("{}", row.render());
+    }
+    println!("storage-proportionality sweep (fraction → in-situ saving W):");
+    for (f, w) in ablation_storage_proportionality_rows() {
+        println!("  {f:>8.4} -> {w:>8.2} W");
+    }
+    // Stripe-count sweep: simulated completion of a 1 GB write.
+    println!("stripe-count sweep (OSS count → simulated 1 GB write seconds):");
+    for n in [1usize, 2, 4, 8] {
+        let mut cfg = PfsConfig::caddy_lustre();
+        let aggregate = cfg.aggregate_bandwidth_bps();
+        cfg.num_oss = n;
+        cfg.oss_bandwidth_bps = aggregate / n as f64; // same total pipe
+        cfg.stripe = StripeLayout::lustre_default(n);
+        let mut fs = ParallelFileSystem::new(cfg);
+        let done = fs.write(SimTime::ZERO, "/x", 1_000_000_000).unwrap();
+        println!("  {n} OSS -> {:.3} s", done.as_secs_f64());
+    }
+
+    let mut g = c.benchmark_group("ablations");
+    for policy in [IoWaitPolicy::BusyWait, IoWaitPolicy::DeepIdle] {
+        g.bench_function(format!("campaign_post8h_{policy:?}"), |b| {
+            let mut campaign = Campaign::paper();
+            campaign.config.io_policy = policy;
+            let pc = PipelineConfig::paper(PipelineKind::PostProcessing, 8.0);
+            b.iter(|| campaign.run(&pc))
+        });
+    }
+    g.bench_function("proportionality_sweep", |b| {
+        b.iter(ablation_storage_proportionality_rows)
+    });
+    g.bench_function("stripe_8oss_1gb_write", |b| {
+        let mut cfg = PfsConfig::caddy_lustre();
+        let aggregate = cfg.aggregate_bandwidth_bps();
+        cfg.num_oss = 8;
+        cfg.oss_bandwidth_bps = aggregate / 8.0;
+        cfg.stripe = StripeLayout::lustre_default(8);
+        b.iter_batched(
+            || ParallelFileSystem::new(cfg.clone()),
+            |mut fs| fs.write(SimTime::ZERO, "/x", 1_000_000_000).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

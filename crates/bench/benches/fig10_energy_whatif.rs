@@ -1,0 +1,41 @@
+//! Fig. 10 — energy vs sampling rate (what-if engine).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ivis_bench::fig10_rows;
+use ivis_core::PipelineKind;
+use ivis_model::WhatIfAnalyzer;
+use ivis_ocean::{ProblemSpec, SamplingRate};
+
+fn bench_fig10(c: &mut Criterion) {
+    let (curve, rows) = fig10_rows();
+    println!("fig10: {} curve points", curve.len());
+    for row in rows {
+        println!("{}", row.render());
+    }
+
+    let a = WhatIfAnalyzer::paper();
+    let spec = ProblemSpec::paper_100yr();
+    let mut g = c.benchmark_group("fig10_energy_whatif");
+    g.bench_function("energy_curve_64_rates", |b| {
+        let hours: Vec<f64> = (1..=64).map(|i| i as f64).collect();
+        b.iter(|| a.energy_curve(PipelineKind::InSitu, &spec, &hours))
+    });
+    g.bench_function("energy_saving_pct", |b| {
+        b.iter(|| a.energy_saving_pct(&spec, SamplingRate::every_hours(1.0)))
+    });
+    g.bench_function("energy_budget_inverse_solve", |b| {
+        let budget = a.energy(
+            PipelineKind::PostProcessing,
+            &spec,
+            SamplingRate::every_hours(12.0),
+        );
+        b.iter(|| {
+            a.max_rate_under_energy_budget(PipelineKind::PostProcessing, &spec, budget)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Fig. 2 — rendering the Okubo-Weiss field.
+//!
+//! Times the in-situ visualization kernel (adaptor → Okubo-Weiss → raster →
+//! PNG) at two image sizes on a spun-up eddy field.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ivis_core::adaptor::CatalystAdaptor;
+use ivis_ocean::grid::Grid;
+use ivis_ocean::shallow_water::{ShallowWaterModel, SwParams};
+use ivis_ocean::vortex::seed_random_eddies;
+use ivis_viz::png::encode_png;
+use ivis_viz::render::FieldRenderer;
+
+fn spun_up_model() -> ShallowWaterModel {
+    let grid = Grid::channel(96, 64, 60_000.0);
+    let params = SwParams::eddy_channel(&grid);
+    let mut m = ShallowWaterModel::new(grid, params);
+    seed_random_eddies(&mut m, 6, 42);
+    m.run(32);
+    m
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let model = spun_up_model();
+    let mut adaptor = CatalystAdaptor::new();
+    let snap = adaptor.adapt(&model);
+
+    let mut g = c.benchmark_group("fig2_render");
+    g.bench_function("adapt_okubo_weiss", |b| {
+        b.iter_batched(
+            CatalystAdaptor::new,
+            |mut a| a.adapt(&model),
+            BatchSize::SmallInput,
+        )
+    });
+    for (w, h) in [(192usize, 128usize), (720, 512)] {
+        let renderer = FieldRenderer::okubo_weiss(w, h);
+        g.bench_function(format!("rasterize_{w}x{h}"), |b| {
+            b.iter(|| renderer.render(&snap.okubo_weiss))
+        });
+        let img = renderer.render(&snap.okubo_weiss);
+        g.bench_function(format!("png_encode_{w}x{h}"), |b| b.iter(|| encode_png(&img)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

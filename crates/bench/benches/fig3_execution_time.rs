@@ -1,0 +1,30 @@
+//! Fig. 3 — the execution-time campaign.
+//!
+//! Times one full instrumented campaign run (machine + meters + Lustre
+//! model) for each of the paper's six configurations, and prints the
+//! regenerated figure rows once at startup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ivis_bench::fig3_rows;
+use ivis_core::campaign::Campaign;
+use ivis_core::{PipelineConfig, PipelineKind};
+
+fn bench_fig3(c: &mut Criterion) {
+    for row in fig3_rows() {
+        println!("{}", row.render());
+    }
+    let campaign = Campaign::paper();
+    let mut g = c.benchmark_group("fig3_execution_time");
+    for kind in [PipelineKind::InSitu, PipelineKind::PostProcessing] {
+        for hours in [8.0, 24.0, 72.0] {
+            let pc = PipelineConfig::paper(kind, hours);
+            g.bench_function(format!("{}_{}h", kind.label(), hours), |b| {
+                b.iter(|| campaign.run(&pc))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

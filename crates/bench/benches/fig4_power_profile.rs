@@ -1,0 +1,38 @@
+//! Fig. 4 — power-profile reconstruction.
+//!
+//! Times the measurement pathway itself: harvesting the per-minute averaged
+//! profiles from the cage meters and the Lustre rack meter after a
+//! post-processing run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ivis_bench::fig4_profile;
+use ivis_core::campaign::Campaign;
+use ivis_core::{PipelineConfig, PipelineKind};
+fn bench_fig4(c: &mut Criterion) {
+    let profile = fig4_profile();
+    println!("fig4: {} per-minute samples reconstructed", profile.len());
+    let m = Campaign::paper().run(&PipelineConfig::paper(PipelineKind::PostProcessing, 8.0));
+
+    let mut g = c.benchmark_group("fig4_power_profile");
+    g.bench_function("full_campaign_with_metering", |b| {
+        let campaign = Campaign::paper();
+        let pc = PipelineConfig::paper(PipelineKind::PostProcessing, 8.0);
+        b.iter(|| campaign.run(&pc))
+    });
+    g.bench_function("profile_energy_integration", |b| {
+        b.iter(|| {
+            (
+                m.compute_profile.energy(),
+                m.storage_profile.energy(),
+                m.compute_profile.average_power(),
+            )
+        })
+    });
+    g.bench_function("profile_rows_rendering", |b| {
+        b.iter(|| (m.compute_profile.as_rows(), m.storage_profile.as_rows()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Fig. 5 — average power comparison.
+//!
+//! Regenerates the figure rows and times the power-averaging path (meter
+//! aggregation across 15 cages plus the rack).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ivis_bench::fig5_rows;
+use ivis_cluster::{IoWaitPolicy, JobPhase, Machine};
+use ivis_sim::SimTime;
+
+fn bench_fig5(c: &mut Criterion) {
+    for row in fig5_rows() {
+        println!("{}", row.render());
+    }
+    // A representative metered machine trace to aggregate.
+    let mut machine = Machine::caddy(IoWaitPolicy::BusyWait);
+    let mut t = SimTime::ZERO;
+    for k in 0..200 {
+        let phase = if k % 3 == 0 {
+            JobPhase::Simulate
+        } else if k % 3 == 1 {
+            JobPhase::WriteOutput
+        } else {
+            JobPhase::Visualize
+        };
+        machine.begin_phase(t, phase);
+        t += ivis_sim::SimDuration::from_secs(7);
+    }
+    machine.finish(t);
+
+    let mut g = c.benchmark_group("fig5_power");
+    g.bench_function("aggregate_15_cage_meters", |b| {
+        b.iter(|| machine.cluster_meter())
+    });
+    let meter = machine.cluster_meter();
+    g.bench_function("minute_averaged_report", |b| {
+        b.iter(|| meter.report(SimTime::ZERO, t))
+    });
+    g.bench_function("average_power_from_profile", |b| {
+        let profile = meter.profile(SimTime::ZERO, t);
+        b.iter(|| profile.average_power())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

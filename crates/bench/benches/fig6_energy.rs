@@ -1,0 +1,41 @@
+//! Fig. 6 — energy comparison.
+//!
+//! Regenerates the figure rows and times energy integration over meter
+//! samples and over the true (unquantized) signal.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ivis_bench::fig6_rows;
+use ivis_power::meter::MeteredPdu;
+use ivis_power::units::Watts;
+use ivis_sim::{SimDuration, SimTime};
+
+fn bench_fig6(c: &mut Criterion) {
+    for row in fig6_rows() {
+        println!("{}", row.render());
+    }
+    // A meter with a long, busy trace (one change per second for an hour).
+    let mut pdu = MeteredPdu::raritan_rack("bench", Watts(2273.0));
+    for s in 0..3600u64 {
+        let w = 2273.0 + 29.0 * ((s % 7) as f64 / 7.0);
+        pdu.observe(SimTime::from_secs(s), Watts(w));
+    }
+    let end = SimTime::from_secs(3600);
+
+    let mut g = c.benchmark_group("fig6_energy");
+    g.bench_function("energy_from_minute_samples", |b| {
+        b.iter(|| pdu.energy_from_samples(SimTime::ZERO, end))
+    });
+    g.bench_function("true_energy_integration", |b| {
+        b.iter(|| pdu.true_energy(SimTime::ZERO, end))
+    });
+    g.bench_function("resample_3600s_to_minutes", |b| {
+        b.iter(|| {
+            pdu.true_signal()
+                .resample_avg(SimTime::ZERO, end, SimDuration::from_mins(1), 2273.0)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Fig. 7 — storage requirements.
+//!
+//! Regenerates the figure rows and times the storage substrate: striped
+//! writes through the Lustre model, ncdf encoding, and the PIO collective
+//! path.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ivis_bench::fig7_rows;
+use ivis_ocean::Field2D;
+use ivis_sim::SimTime;
+use ivis_storage::ncdf::{NcFile, VarData};
+use ivis_storage::pio::{CollectiveWriter, PioConfig};
+use ivis_storage::ParallelFileSystem;
+
+fn bench_fig7(c: &mut Criterion) {
+    for row in fig7_rows() {
+        println!("{}", row.render());
+    }
+    let mut g = c.benchmark_group("fig7_storage");
+    g.bench_function("pfs_write_426mb_output", |b| {
+        b.iter_batched(
+            ParallelFileSystem::caddy_lustre,
+            |mut fs| fs.write(SimTime::ZERO, "/out.nc", 425_929_760).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("pio_collective_write_2400_ranks", |b| {
+        let writer = CollectiveWriter::new(PioConfig::caddy_default());
+        let rank_bytes = vec![425_929_760u64 / 2400; 2400];
+        b.iter_batched(
+            ParallelFileSystem::caddy_lustre,
+            |mut fs| {
+                writer
+                    .write(&mut fs, SimTime::ZERO, "/out.nc", &rank_bytes)
+                    .unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let field = Field2D::from_fn(256, 128, |i, j| (i as f64).sin() * (j as f64).cos());
+    g.bench_function("ncdf_encode_256x128_f64", |b| {
+        b.iter(|| {
+            let mut f = NcFile::new();
+            let dy = f.add_dim("y", 128);
+            let dx = f.add_dim("x", 256);
+            f.add_var("W", vec![dy, dx], VarData::F64(field.data().to_vec()))
+                .unwrap();
+            f.encode()
+        })
+    });
+    let encoded = {
+        let mut f = NcFile::new();
+        let dy = f.add_dim("y", 128);
+        let dx = f.add_dim("x", 256);
+        f.add_var("W", vec![dy, dx], VarData::F64(field.data().to_vec()))
+            .unwrap();
+        f.encode()
+    };
+    g.bench_function("ncdf_decode_256x128_f64", |b| {
+        b.iter(|| NcFile::decode(&encoded).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

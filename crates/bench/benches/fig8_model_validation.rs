@@ -1,0 +1,56 @@
+//! Eq. 5 / Fig. 8 — model calibration and validation.
+//!
+//! Regenerates the calibration constants and the validation errors, and
+//! times the 3×3 exact solve, a 6-point least-squares fit, and the full
+//! measure→calibrate→validate loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ivis_bench::{eq5_calibration, fig8_validation};
+use ivis_model::calibrate::{calibrate_exact, calibrate_least_squares, paper_points, CalibrationPoint};
+use ivis_model::validate::validate;
+
+fn bench_fig8(c: &mut Criterion) {
+    let (_, rows) = eq5_calibration();
+    for row in rows {
+        println!("{}", row.render());
+    }
+    let report = fig8_validation();
+    println!(
+        "fig8: max |error| = {:.3} % over {} configs",
+        report.max_abs_rel_error() * 100.0,
+        report.rows.len()
+    );
+
+    let mut g = c.benchmark_group("fig8_model_validation");
+    g.bench_function("calibrate_exact_3x3", |b| {
+        let pts = paper_points();
+        b.iter(|| calibrate_exact(&pts, 8640).unwrap())
+    });
+    g.bench_function("calibrate_least_squares_6pt", |b| {
+        let pts: Vec<CalibrationPoint> = vec![
+            CalibrationPoint::new(676.0, 0.1, 60.0),
+            CalibrationPoint::new(1261.0, 0.6, 540.0),
+            CalibrationPoint::new(1322.0, 80.0, 180.0),
+            CalibrationPoint::new(2700.0, 230.0, 540.0),
+            CalibrationPoint::new(843.0, 26.6, 60.0),
+            CalibrationPoint::new(820.0, 0.2, 180.0),
+        ];
+        b.iter(|| calibrate_least_squares(&pts, 8640).unwrap())
+    });
+    g.bench_function("validate_6_points", |b| {
+        let model = calibrate_exact(&paper_points(), 8640).unwrap();
+        let pts: Vec<CalibrationPoint> = (0..6)
+            .map(|i| CalibrationPoint::new(700.0 + i as f64, 0.1 * i as f64, 60.0 * i as f64))
+            .collect();
+        b.iter(|| validate(&model, &pts, 8640))
+    });
+    g.bench_function("end_to_end_measure_calibrate_validate", |b| {
+        b.iter(|| {
+            let (_, _) = eq5_calibration();
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Fig. 9 — storage vs sampling rate (what-if engine).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ivis_bench::fig9_rows;
+use ivis_core::PipelineKind;
+use ivis_model::WhatIfAnalyzer;
+use ivis_ocean::{ProblemSpec, SamplingRate};
+
+fn bench_fig9(c: &mut Criterion) {
+    let (curve, crossover) = fig9_rows();
+    println!("fig9: {} curve points; {}", curve.len(), crossover.render());
+
+    let a = WhatIfAnalyzer::paper();
+    let spec = ProblemSpec::paper_100yr();
+    let mut g = c.benchmark_group("fig9_storage_whatif");
+    g.bench_function("storage_curve_64_rates", |b| {
+        let hours: Vec<f64> = (1..=64).map(|i| i as f64).collect();
+        b.iter(|| a.storage_curve(PipelineKind::PostProcessing, &spec, &hours))
+    });
+    g.bench_function("budget_crossover_solve", |b| {
+        b.iter(|| {
+            a.max_rate_under_storage_budget(
+                PipelineKind::PostProcessing,
+                &spec,
+                2_000_000_000_000,
+            )
+        })
+    });
+    g.bench_function("single_point_storage", |b| {
+        b.iter(|| a.storage_bytes(PipelineKind::InSitu, &spec, SamplingRate::every_hours(1.0)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

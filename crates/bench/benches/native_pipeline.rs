@@ -1,0 +1,29 @@
+//! The native (really-executing) pipelines: in-situ vs post-processing at
+//! laptop scale. The wall-clock ratio between the two is the native
+//! analogue of Fig. 3.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ivis_core::native::{run_native_insitu, run_native_postproc, NativeConfig};
+
+fn bench_native(c: &mut Criterion) {
+    let cfg = NativeConfig::tiny();
+    let a = run_native_insitu(&cfg);
+    let b = run_native_postproc(&cfg);
+    println!(
+        "native tiny: in-situ total {:?} vs post {:?}; storage reduction {:.1} %",
+        a.wall_total(),
+        b.wall_total(),
+        a.storage_reduction_vs(&b)
+    );
+
+    let mut g = c.benchmark_group("native_pipeline");
+    g.sample_size(10);
+    g.bench_function("insitu_tiny", |bch| bch.iter(|| run_native_insitu(&cfg)));
+    g.bench_function("postproc_tiny", |bch| bch.iter(|| run_native_postproc(&cfg)));
+    let small = NativeConfig::small();
+    g.bench_function("insitu_small", |bch| bch.iter(|| run_native_insitu(&small)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_native);
+criterion_main!(benches);

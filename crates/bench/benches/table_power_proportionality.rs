@@ -1,0 +1,42 @@
+//! §V power-proportionality characterization (the 2273→2302 W storage rack
+//! vs the 15→44 kW compute cluster).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ivis_bench::proportionality_rows;
+use ivis_power::node::{NodeLoad, NodePowerModel};
+use ivis_power::proportionality::{proportionality_index, LoadPowerPoint};
+use ivis_storage::StoragePowerModel;
+
+fn bench_proportionality(c: &mut Criterion) {
+    for row in proportionality_rows() {
+        println!("{}", row.render());
+    }
+    let mut g = c.benchmark_group("table_power_proportionality");
+    g.bench_function("node_power_model_eval", |b| {
+        let node = NodePowerModel::caddy();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..=100 {
+                acc += node.power(NodeLoad::uniform(i as f64 / 100.0)).watts();
+            }
+            acc
+        })
+    });
+    g.bench_function("proportionality_index_101pt_curve", |b| {
+        let rack = StoragePowerModel::paper_lustre_rack();
+        let curve: Vec<LoadPowerPoint> = (0..=100)
+            .map(|i| {
+                let u = i as f64 / 100.0;
+                LoadPowerPoint {
+                    load: u,
+                    power: rack.power(u),
+                }
+            })
+            .collect();
+        b.iter(|| proportionality_index(&curve))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_proportionality);
+criterion_main!(benches);

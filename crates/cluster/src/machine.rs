@@ -1,0 +1,387 @@
+//! The instrumented machine: topology + power model + cage meters.
+//!
+//! A [`Machine`] is what a pipeline executor drives: it announces phase
+//! transitions ([`Machine::begin_phase`]) and the machine converts them into
+//! per-node loads, per-node watts, and per-cage meter observations — exactly
+//! the measurement pathway on *Caddy* (15 Appro cage monitors covering 150
+//! nodes, one averaged sample per minute each).
+
+use ivis_power::meter::{aggregate, MeteredPdu};
+use ivis_power::node::{NodeLoad, NodePowerModel};
+use ivis_power::units::Watts;
+use ivis_sim::{SimRng, SimTime};
+
+use crate::phase::{IoWaitPolicy, JobPhase, PhaseRecord, PhaseTimeline};
+use crate::topology::{CageId, ClusterTopology, NodeId};
+
+/// Optional multiplicative measurement noise on cage power.
+#[derive(Debug, Clone)]
+struct PowerNoise {
+    rng: SimRng,
+    rel_std: f64,
+}
+
+/// An instrumented compute cluster.
+///
+/// ```
+/// use ivis_cluster::{IoWaitPolicy, JobPhase, Machine};
+/// use ivis_sim::SimTime;
+///
+/// let mut m = Machine::caddy(IoWaitPolicy::BusyWait);
+/// m.begin_phase(SimTime::ZERO, JobPhase::Simulate);
+/// m.finish(SimTime::from_secs(120));
+/// // Two simulated minutes at the paper's 44 kW loaded draw.
+/// let samples = m.cluster_meter().report(SimTime::ZERO, SimTime::from_secs(120));
+/// assert_eq!(samples.len(), 2);
+/// assert!((samples[0].avg.watts() - 44_000.0).abs() < 10.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    topology: ClusterTopology,
+    node_model: NodePowerModel,
+    policy: IoWaitPolicy,
+    node_loads: Vec<NodeLoad>,
+    cage_meters: Vec<MeteredPdu>,
+    timeline: PhaseTimeline,
+    current: Option<(JobPhase, SimTime)>,
+    noise: Option<PowerNoise>,
+}
+
+impl Machine {
+    /// Build a machine from parts. Meters start with the idle baseline.
+    pub fn new(topology: ClusterTopology, node_model: NodePowerModel, policy: IoWaitPolicy) -> Self {
+        let idle_cage =
+            Watts(node_model.idle().watts() * topology.nodes_per_cage as f64);
+        let cage_meters = (0..topology.num_cages)
+            .map(|i| MeteredPdu::appro_cage(format!("cage{i}"), idle_cage))
+            .collect();
+        let node_loads = vec![NodeLoad::IDLE; topology.num_nodes()];
+        Machine {
+            topology,
+            node_model,
+            policy,
+            node_loads,
+            cage_meters,
+            timeline: PhaseTimeline::new(),
+            current: None,
+            noise: None,
+        }
+    }
+
+    /// The paper's *Caddy* cluster with its calibrated node power model.
+    pub fn caddy(policy: IoWaitPolicy) -> Self {
+        Machine::new(ClusterTopology::caddy(), NodePowerModel::caddy(), policy)
+    }
+
+    /// Enable multiplicative measurement noise (relative std-dev) on cage
+    /// power observations, seeded deterministically.
+    pub fn with_power_noise(mut self, seed: u64, rel_std: f64) -> Self {
+        assert!((0.0..0.5).contains(&rel_std), "rel_std out of range");
+        self.noise = Some(PowerNoise {
+            rng: SimRng::new(seed),
+            rel_std,
+        });
+        self
+    }
+
+    /// The machine's topology.
+    pub fn topology(&self) -> &ClusterTopology {
+        &self.topology
+    }
+
+    /// The configured I/O wait policy.
+    pub fn io_policy(&self) -> IoWaitPolicy {
+        self.policy
+    }
+
+    /// The node power model in use.
+    pub fn node_model(&self) -> &NodePowerModel {
+        &self.node_model
+    }
+
+    /// Whole-cluster idle power.
+    pub fn idle_power(&self) -> Watts {
+        self.node_model.idle() * self.topology.num_nodes() as f64
+    }
+
+    /// Whole-cluster power under the compute-bound load.
+    pub fn loaded_power(&self) -> Watts {
+        self.node_model.loaded() * self.topology.num_nodes() as f64
+    }
+
+    /// Instantaneous whole-cluster power implied by current node loads
+    /// (true signal, before metering).
+    pub fn power_now(&self) -> Watts {
+        self.node_loads
+            .iter()
+            .map(|&l| self.node_model.power(l))
+            .sum()
+    }
+
+    /// Begin a new cluster-wide phase at time `t`, closing any phase in
+    /// progress and re-observing every cage meter.
+    pub fn begin_phase(&mut self, t: SimTime, phase: JobPhase) {
+        self.close_current(t);
+        self.current = Some((phase, t));
+        let load = phase.load(self.policy);
+        for l in &mut self.node_loads {
+            *l = load;
+        }
+        self.observe_all(t);
+    }
+
+    /// Begin a *split* phase at `t`: the last `staging` nodes run
+    /// `staging_phase` while the rest run `compute_phase`. The timeline
+    /// records the compute partition's phase (the staging partition is an
+    /// accounting sidecar, as in in-transit pipelines).
+    ///
+    /// # Panics
+    /// Panics if `staging` is not smaller than the node count.
+    pub fn begin_split_phase(
+        &mut self,
+        t: SimTime,
+        staging: usize,
+        compute_phase: JobPhase,
+        staging_phase: JobPhase,
+    ) {
+        let n = self.topology.num_nodes();
+        assert!(staging < n, "staging partition must leave compute nodes");
+        self.close_current(t);
+        self.current = Some((compute_phase, t));
+        let cload = compute_phase.load(self.policy);
+        let sload = staging_phase.load(self.policy);
+        for (i, l) in self.node_loads.iter_mut().enumerate() {
+            *l = if i >= n - staging { sload } else { cload };
+        }
+        self.observe_all(t);
+    }
+
+    /// Set one node's load (for heterogeneous experiments); does not affect
+    /// the phase timeline.
+    pub fn set_node_load(&mut self, t: SimTime, node: NodeId, load: NodeLoad) {
+        assert!(node.0 < self.node_loads.len(), "node out of range");
+        self.node_loads[node.0] = load;
+        let cage = self.topology.cage_of(node);
+        self.observe_cage(t, cage);
+    }
+
+    /// End the job at time `t`: closes the current phase and returns the
+    /// machine to idle.
+    pub fn finish(&mut self, t: SimTime) {
+        self.close_current(t);
+        for l in &mut self.node_loads {
+            *l = NodeLoad::IDLE;
+        }
+        self.observe_all(t);
+    }
+
+    fn close_current(&mut self, t: SimTime) {
+        if let Some((phase, start)) = self.current.take() {
+            self.timeline.push(PhaseRecord {
+                phase,
+                start,
+                end: t,
+            });
+        }
+    }
+
+    fn cage_power(&mut self, cage: CageId) -> Watts {
+        let raw: Watts = self
+            .topology
+            .nodes_in(cage)
+            .map(|n| self.node_model.power(self.node_loads[n.0]))
+            .sum();
+        match &mut self.noise {
+            Some(n) => raw * n.rng.noise_factor(n.rel_std),
+            None => raw,
+        }
+    }
+
+    fn observe_cage(&mut self, t: SimTime, cage: CageId) {
+        let p = self.cage_power(cage);
+        self.cage_meters[cage.0].observe(t, p);
+    }
+
+    fn observe_all(&mut self, t: SimTime) {
+        for i in 0..self.topology.num_cages {
+            self.observe_cage(t, CageId(i));
+        }
+    }
+
+    /// The per-cage meters (what the Appro interface exposes).
+    pub fn cage_meters(&self) -> &[MeteredPdu] {
+        &self.cage_meters
+    }
+
+    /// A synthesized whole-cluster meter (sum of all cages).
+    pub fn cluster_meter(&self) -> MeteredPdu {
+        aggregate("compute-cluster", &self.cage_meters)
+    }
+
+    /// Executed phases so far.
+    pub fn timeline(&self) -> &PhaseTimeline {
+        &self.timeline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivis_sim::SimDuration;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn caddy_idle_and_loaded_power() {
+        let m = Machine::caddy(IoWaitPolicy::BusyWait);
+        assert!((m.idle_power().watts() - 15_000.0).abs() < 1.0);
+        assert!((m.loaded_power().watts() - 44_000.0).abs() < 1.0);
+        assert!((m.power_now().watts() - 15_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn phases_drive_power() {
+        let mut m = Machine::caddy(IoWaitPolicy::BusyWait);
+        m.begin_phase(t(0), JobPhase::Simulate);
+        assert!((m.power_now().watts() - 44_000.0).abs() < 1.0);
+        m.begin_phase(t(100), JobPhase::WriteOutput);
+        // Busy-wait keeps power high.
+        assert!(m.power_now().watts() > 0.8 * 44_000.0);
+        m.finish(t(200));
+        assert!((m.power_now().watts() - 15_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn deep_idle_policy_drops_io_power() {
+        let mut busy = Machine::caddy(IoWaitPolicy::BusyWait);
+        let mut deep = Machine::caddy(IoWaitPolicy::DeepIdle);
+        busy.begin_phase(t(0), JobPhase::WriteOutput);
+        deep.begin_phase(t(0), JobPhase::WriteOutput);
+        assert!(
+            deep.power_now().watts() < 0.6 * busy.power_now().watts(),
+            "deep={} busy={}",
+            deep.power_now(),
+            busy.power_now()
+        );
+    }
+
+    #[test]
+    fn timeline_records_phases() {
+        let mut m = Machine::caddy(IoWaitPolicy::BusyWait);
+        m.begin_phase(t(0), JobPhase::Simulate);
+        m.begin_phase(t(60), JobPhase::WriteOutput);
+        m.begin_phase(t(90), JobPhase::Simulate);
+        m.finish(t(150));
+        let tl = m.timeline();
+        assert_eq!(tl.records().len(), 3);
+        assert_eq!(tl.time_in(JobPhase::Simulate), SimDuration::from_secs(120));
+        assert_eq!(
+            tl.time_in(JobPhase::WriteOutput),
+            SimDuration::from_secs(30)
+        );
+    }
+
+    #[test]
+    fn cluster_meter_sums_cages() {
+        let mut m = Machine::caddy(IoWaitPolicy::BusyWait);
+        m.begin_phase(t(0), JobPhase::Simulate);
+        m.finish(t(120));
+        let meter = m.cluster_meter();
+        let samples = meter.report(SimTime::ZERO, t(120));
+        assert_eq!(samples.len(), 2);
+        // Both minutes fully loaded: ~44 kW.
+        assert!((samples[0].avg.watts() - 44_000.0).abs() < 1.0);
+        assert_eq!(m.cage_meters().len(), 15);
+    }
+
+    #[test]
+    fn meter_energy_matches_phase_arithmetic() {
+        let mut m = Machine::caddy(IoWaitPolicy::BusyWait);
+        m.begin_phase(t(0), JobPhase::Simulate);
+        m.finish(t(600));
+        let meter = m.cluster_meter();
+        let e = meter.energy_from_samples(SimTime::ZERO, t(600)).joules();
+        assert!((e - 44_000.0 * 600.0).abs() / e < 1e-6);
+    }
+
+    #[test]
+    fn per_node_load_affects_only_its_cage() {
+        let mut m = Machine::new(
+            ClusterTopology::tiny(),
+            NodePowerModel::caddy(),
+            IoWaitPolicy::BusyWait,
+        );
+        m.begin_phase(t(0), JobPhase::Idle);
+        m.set_node_load(t(10), NodeId(0), NodeLoad::COMPUTE);
+        let idle_node = m.node_model().idle().watts();
+        let loaded_node = m.node_model().loaded().watts();
+        let cage0 = &m.cage_meters()[0];
+        let cage1 = &m.cage_meters()[1];
+        let p0 = cage0.true_signal().value_at(t(10), 0.0);
+        let p1 = cage1.true_signal().value_at(t(10), 2.0 * idle_node);
+        assert!((p0 - (idle_node + loaded_node)).abs() < 1e-6);
+        assert!((p1 - 2.0 * idle_node).abs() < 1e-6);
+    }
+
+    #[test]
+    fn split_phase_powers_partitions_independently() {
+        let mut m = Machine::caddy(IoWaitPolicy::BusyWait);
+        // 140 compute nodes simulate, 10 staging nodes idle.
+        m.begin_split_phase(t(0), 10, JobPhase::Simulate, JobPhase::Idle);
+        let loaded = m.node_model().loaded().watts();
+        let idle = m.node_model().idle().watts();
+        let expect = 140.0 * loaded + 10.0 * idle;
+        assert!((m.power_now().watts() - expect).abs() < 1.0);
+        // Staging renders while compute idles: different mix.
+        m.begin_split_phase(t(60), 10, JobPhase::Idle, JobPhase::Visualize);
+        assert!(m.power_now().watts() < expect);
+        m.finish(t(120));
+        // Timeline recorded the compute partition's phases.
+        assert_eq!(
+            m.timeline().time_in(JobPhase::Simulate),
+            SimDuration::from_secs(60)
+        );
+        assert_eq!(
+            m.timeline().time_in(JobPhase::Idle),
+            SimDuration::from_secs(60)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "staging partition must leave compute nodes")]
+    fn split_phase_rejects_all_staging() {
+        let mut m = Machine::new(
+            ClusterTopology::tiny(),
+            NodePowerModel::caddy(),
+            IoWaitPolicy::BusyWait,
+        );
+        m.begin_split_phase(t(0), 4, JobPhase::Simulate, JobPhase::Idle);
+    }
+
+    #[test]
+    fn noise_perturbs_but_preserves_scale() {
+        let mut m = Machine::caddy(IoWaitPolicy::BusyWait).with_power_noise(7, 0.01);
+        m.begin_phase(t(0), JobPhase::Simulate);
+        m.finish(t(60));
+        let p = m.cluster_meter().report(SimTime::ZERO, t(60))[0].avg.watts();
+        assert!((p - 44_000.0).abs() < 44_000.0 * 0.05);
+        assert!((p - 44_000.0).abs() > 1e-9, "noise should perturb");
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let run = || {
+            let mut m = Machine::caddy(IoWaitPolicy::BusyWait).with_power_noise(99, 0.02);
+            m.begin_phase(t(0), JobPhase::Simulate);
+            m.finish(t(300));
+            m.cluster_meter()
+                .report(SimTime::ZERO, t(300))
+                .iter()
+                .map(|s| s.avg.watts())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

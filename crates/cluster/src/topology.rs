@@ -1,0 +1,137 @@
+//! Cluster topology: nodes, cages, cores.
+
+/// Identifier of a compute node within the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+/// Identifier of a cage (a power-monitored group of nodes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CageId(pub usize);
+
+/// Static description of a cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterTopology {
+    /// Number of cages (each with its own power monitor).
+    pub num_cages: usize,
+    /// Nodes per cage.
+    pub nodes_per_cage: usize,
+    /// CPU sockets per node.
+    pub sockets_per_node: usize,
+    /// Cores per socket.
+    pub cores_per_socket: usize,
+}
+
+impl ClusterTopology {
+    /// The *Caddy* cluster: 15 cages × 10 nodes, 2 × 8-core sockets per node
+    /// ⇒ 150 nodes / 2400 cores.
+    pub fn caddy() -> Self {
+        ClusterTopology {
+            num_cages: 15,
+            nodes_per_cage: 10,
+            sockets_per_node: 2,
+            cores_per_socket: 8,
+        }
+    }
+
+    /// A small topology for fast tests (2 cages × 2 nodes).
+    pub fn tiny() -> Self {
+        ClusterTopology {
+            num_cages: 2,
+            nodes_per_cage: 2,
+            sockets_per_node: 2,
+            cores_per_socket: 8,
+        }
+    }
+
+    /// Total node count.
+    pub fn num_nodes(&self) -> usize {
+        self.num_cages * self.nodes_per_cage
+    }
+
+    /// Cores per node.
+    pub fn cores_per_node(&self) -> usize {
+        self.sockets_per_node * self.cores_per_socket
+    }
+
+    /// Total core count.
+    pub fn num_cores(&self) -> usize {
+        self.num_nodes() * self.cores_per_node()
+    }
+
+    /// The cage containing `node`.
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range.
+    pub fn cage_of(&self, node: NodeId) -> CageId {
+        assert!(node.0 < self.num_nodes(), "node {node:?} out of range");
+        CageId(node.0 / self.nodes_per_cage)
+    }
+
+    /// The nodes belonging to `cage`, in id order.
+    ///
+    /// # Panics
+    /// Panics if `cage` is out of range.
+    pub fn nodes_in(&self, cage: CageId) -> impl Iterator<Item = NodeId> + '_ {
+        assert!(cage.0 < self.num_cages, "cage {cage:?} out of range");
+        let start = cage.0 * self.nodes_per_cage;
+        (start..start + self.nodes_per_cage).map(NodeId)
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.num_nodes()).map(NodeId)
+    }
+
+    /// All cage ids.
+    pub fn cages(&self) -> impl Iterator<Item = CageId> {
+        (0..self.num_cages).map(CageId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caddy_counts_match_paper() {
+        let c = ClusterTopology::caddy();
+        assert_eq!(c.num_nodes(), 150);
+        assert_eq!(c.num_cores(), 2400);
+        assert_eq!(c.cores_per_node(), 16);
+        assert_eq!(c.num_cages, 15);
+    }
+
+    #[test]
+    fn cage_mapping_partitions_nodes() {
+        let c = ClusterTopology::caddy();
+        for cage in c.cages() {
+            for node in c.nodes_in(cage) {
+                assert_eq!(c.cage_of(node), cage);
+            }
+        }
+        // Every node appears exactly once across cages.
+        let total: usize = c.cages().map(|g| c.nodes_in(g).count()).sum();
+        assert_eq!(total, c.num_nodes());
+    }
+
+    #[test]
+    fn node_iteration_is_dense() {
+        let c = ClusterTopology::tiny();
+        let ids: Vec<usize> = c.nodes().map(|n| n.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cage_of_rejects_bad_node() {
+        let c = ClusterTopology::tiny();
+        let _ = c.cage_of(NodeId(99));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn nodes_in_rejects_bad_cage() {
+        let c = ClusterTopology::tiny();
+        let _ = c.nodes_in(CageId(7)).count();
+    }
+}

@@ -1,0 +1,83 @@
+//! Pipeline configuration.
+
+use ivis_ocean::{ProblemSpec, SamplingRate};
+
+/// Which visualization pipeline to run (the paper's Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PipelineKind {
+    /// Render in place, write only images (Fig. 1b).
+    InSitu,
+    /// Write raw data, render afterwards (Fig. 1a).
+    PostProcessing,
+}
+
+impl PipelineKind {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            PipelineKind::InSitu => "in-situ",
+            PipelineKind::PostProcessing => "post-processing",
+        }
+    }
+}
+
+/// A fully specified pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Pipeline flavor.
+    pub kind: PipelineKind,
+    /// The simulation problem.
+    pub spec: ProblemSpec,
+    /// Output sampling rate.
+    pub rate: SamplingRate,
+}
+
+impl PipelineConfig {
+    /// One of the paper's six measured configurations.
+    pub fn paper(kind: PipelineKind, every_hours: f64) -> Self {
+        PipelineConfig {
+            kind,
+            spec: ProblemSpec::paper_60km(),
+            rate: SamplingRate::every_hours(every_hours),
+        }
+    }
+
+    /// All six measured configurations (2 pipelines × 3 rates), in the
+    /// paper's presentation order.
+    pub fn paper_matrix() -> Vec<PipelineConfig> {
+        let mut v = Vec::with_capacity(6);
+        for kind in [PipelineKind::InSitu, PipelineKind::PostProcessing] {
+            for h in [8.0, 24.0, 72.0] {
+                v.push(PipelineConfig::paper(kind, h));
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_matrix_has_six_configs() {
+        let m = PipelineConfig::paper_matrix();
+        assert_eq!(m.len(), 6);
+        assert_eq!(m.iter().filter(|c| c.kind == PipelineKind::InSitu).count(), 3);
+        let rates: Vec<f64> = m.iter().map(|c| c.rate.every_hours).collect();
+        assert_eq!(&rates[..3], &[8.0, 24.0, 72.0]);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(PipelineKind::InSitu.label(), "in-situ");
+        assert_eq!(PipelineKind::PostProcessing.label(), "post-processing");
+    }
+
+    #[test]
+    fn paper_config_uses_paper_spec() {
+        let c = PipelineConfig::paper(PipelineKind::InSitu, 8.0);
+        assert_eq!(c.spec.total_steps(), 8640);
+        assert_eq!(c.spec.num_outputs(c.rate), 540);
+    }
+}

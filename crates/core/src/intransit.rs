@@ -1,0 +1,239 @@
+//! The in-transit pipeline: visualization on dedicated staging nodes.
+//!
+//! Bennett et al. (cited by the paper) and Rodero et al. (its related work)
+//! move analysis off the compute partition onto **staging nodes**: after
+//! each sample the field is shipped over the interconnect to the staging
+//! partition, which renders while the simulation proceeds. This trades
+//! compute nodes for overlap — with too few staging nodes the renderer
+//! cannot keep up and the simulation stalls on the hand-off (no buffering
+//! beyond one in-flight sample here, matching synchronous staging).
+//!
+//! This module extends the measurement campaign with
+//! [`Campaign::run_intransit`], producing the same [`PipelineMetrics`]
+//! artifact so in-transit drops straight into the Fig. 3/5/6/7 comparisons.
+
+use ivis_cluster::interconnect::Interconnect;
+use ivis_cluster::JobPhase;
+use ivis_ocean::cost::SimulationCostModel;
+use ivis_sim::{SimDuration, SimRng, SimTime};
+use ivis_storage::ParallelFileSystem;
+
+use crate::campaign::Campaign;
+use crate::config::{PipelineConfig, PipelineKind};
+use crate::metrics::PipelineMetrics;
+
+/// In-transit specific knobs.
+#[derive(Debug, Clone)]
+pub struct InTransitConfig {
+    /// Staging nodes carved out of the machine.
+    pub staging_nodes: usize,
+    /// Interconnect used for the compute→staging hand-off.
+    pub interconnect: Interconnect,
+}
+
+impl InTransitConfig {
+    /// A typical allocation: 10 of the 150 nodes stage, over IB QDR.
+    pub fn caddy_default() -> Self {
+        InTransitConfig {
+            staging_nodes: 10,
+            interconnect: Interconnect::ib_qdr(),
+        }
+    }
+}
+
+impl Campaign {
+    /// Run the in-transit pipeline on the simulated machine.
+    ///
+    /// The compute partition shrinks to `N − staging` nodes (the cost model
+    /// scales accordingly); rendering time scales inversely with the staging
+    /// partition size from the paper's whole-machine β.
+    pub fn run_intransit(&self, pc: &PipelineConfig, it: &InTransitConfig) -> PipelineMetrics {
+        let mut rng = SimRng::new(self.config.seed ^ 0x17A7);
+        let mut machine = self.machine();
+        let mut pfs = ParallelFileSystem::caddy_lustre();
+        let spec = &pc.spec;
+        let n_out = spec.num_outputs(pc.rate);
+        let spp = spec.steps_per_output(pc.rate);
+        let total_nodes = machine.topology().num_nodes();
+        assert!(
+            it.staging_nodes > 0 && it.staging_nodes < total_nodes,
+            "staging partition must be a proper subset of the machine"
+        );
+        let staging = it.staging_nodes;
+        let cores_per_node = machine.topology().cores_per_node();
+
+        // Compute-partition cost model: fewer cores, same problem.
+        let mut cost: SimulationCostModel = self.cost.clone();
+        cost.cores = ((total_nodes - staging) * cores_per_node) as u64;
+        let step_secs = cost.step_seconds(spec);
+
+        // Rendering on the staging partition: β scales with partition size.
+        let staging_viz_secs =
+            self.config.viz_seconds_per_output * total_nodes as f64 / staging as f64;
+        // Hand-off: the raw field fans out over the staging nodes' links.
+        let transfer = {
+            let per_node = spec.raw_output_bytes() / staging as u64;
+            it.interconnect.ptp_time(per_node)
+        };
+
+        let mut now = SimTime::ZERO; // compute-partition clock
+        let mut staging_free = SimTime::ZERO; // staging-partition clock
+        for k in 0..n_out {
+            // Simulate the chunk; staging renders the previous sample (if
+            // still busy) in parallel.
+            let chunk =
+                SimDuration::from_secs_f64(step_secs * spp as f64 * self.noise(&mut rng));
+            if staging_free > now {
+                machine.begin_split_phase(now, staging, JobPhase::Simulate, JobPhase::Visualize);
+                if staging_free < now + chunk {
+                    // Staging finishes mid-chunk.
+                    machine.begin_split_phase(
+                        staging_free,
+                        staging,
+                        JobPhase::Simulate,
+                        JobPhase::Idle,
+                    );
+                }
+            } else {
+                machine.begin_split_phase(now, staging, JobPhase::Simulate, JobPhase::Idle);
+            }
+            now += chunk;
+            // Hand-off: compute must wait until staging is free (synchronous
+            // staging, single in-flight sample). Ranks busy-wait.
+            if staging_free > now {
+                machine.begin_split_phase(
+                    now,
+                    staging,
+                    JobPhase::WriteOutput,
+                    JobPhase::Visualize,
+                );
+                now = staging_free;
+            }
+            machine.begin_split_phase(now, staging, JobPhase::WriteOutput, JobPhase::WriteOutput);
+            now += transfer;
+            // Staging renders this sample and writes its images.
+            let render =
+                SimDuration::from_secs_f64(staging_viz_secs * self.noise(&mut rng));
+            let render_done = now + render;
+            let image_done = pfs
+                .write(
+                    render_done,
+                    &format!("/intransit/cinema/ts_{k:06}.png"),
+                    self.config.image_bytes_per_output,
+                )
+                .expect("images fit in the rack");
+            staging_free = image_done;
+        }
+        // Trailing simulation steps, then wait out the staging tail.
+        let trailing = spec.total_steps().saturating_sub(n_out * spp);
+        if trailing > 0 {
+            machine.begin_split_phase(now, staging, JobPhase::Simulate, JobPhase::Idle);
+            now += SimDuration::from_secs_f64(
+                step_secs * trailing as f64 * self.noise(&mut rng),
+            );
+        }
+        if staging_free > now {
+            machine.begin_split_phase(now, staging, JobPhase::Idle, JobPhase::Visualize);
+            now = staging_free;
+        }
+        machine.finish(now);
+        self.harvest(pc, machine, &pfs, now, n_out)
+    }
+}
+
+/// The pipeline kind reported for in-transit runs: it *is* an in-situ
+/// variant from the storage system's point of view (only images are
+/// written), so metrics carry [`PipelineKind::InSitu`]; use the row label
+/// from the experiment harness to distinguish them.
+pub fn reported_kind() -> PipelineKind {
+    PipelineKind::InSitu
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::Campaign;
+
+    fn run_it(staging: usize, hours: f64) -> PipelineMetrics {
+        let campaign = Campaign::paper();
+        let mut pc = PipelineConfig::paper(PipelineKind::InSitu, hours);
+        pc.kind = reported_kind();
+        campaign.run_intransit(
+            &pc,
+            &InTransitConfig {
+                staging_nodes: staging,
+                interconnect: Interconnect::ib_qdr(),
+            },
+        )
+    }
+
+    fn run_insitu(hours: f64) -> PipelineMetrics {
+        Campaign::paper().run(&PipelineConfig::paper(PipelineKind::InSitu, hours))
+    }
+
+    #[test]
+    fn undersized_staging_partition_stalls_the_pipeline() {
+        // 10 staging nodes must render 15× slower than the whole machine:
+        // at the 8 h rate the renderer cannot keep up and in-transit is much
+        // slower than in-situ.
+        let it = run_it(10, 8.0);
+        let insitu = run_insitu(8.0);
+        assert!(
+            it.execution_time.as_secs_f64() > 2.0 * insitu.execution_time.as_secs_f64(),
+            "in-transit {} vs in-situ {}",
+            it.execution_time.as_secs_f64(),
+            insitu.execution_time.as_secs_f64()
+        );
+    }
+
+    #[test]
+    fn generous_staging_partition_approaches_insitu() {
+        // With 50 staging nodes at the 72 h rate the render hides behind the
+        // simulation; only the compute-partition slowdown (150/100) remains.
+        let it = run_it(50, 72.0);
+        let insitu = run_insitu(72.0);
+        let ratio = it.execution_time.as_secs_f64() / insitu.execution_time.as_secs_f64();
+        assert!(
+            ratio < 1.45,
+            "well-provisioned in-transit should be near in-situ: ratio {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn storage_footprint_matches_insitu() {
+        let it = run_it(25, 24.0);
+        let insitu = run_insitu(24.0);
+        assert_eq!(it.storage_bytes, insitu.storage_bytes);
+        assert_eq!(it.num_outputs, insitu.num_outputs);
+    }
+
+    #[test]
+    fn staging_idle_time_lowers_average_power() {
+        // At the 72 h rate with 25 staging nodes, staging idles most of the
+        // time ⇒ average power drops below the all-busy in-situ level.
+        let it = run_it(25, 72.0);
+        let insitu = run_insitu(72.0);
+        assert!(
+            it.avg_power_compute().watts() < insitu.avg_power_compute().watts(),
+            "in-transit {} vs in-situ {}",
+            it.avg_power_compute(),
+            insitu.avg_power_compute()
+        );
+    }
+
+    #[test]
+    fn phase_decomposition_is_consistent() {
+        let it = run_it(25, 24.0);
+        let total = it.t_sim + it.t_io + it.t_viz;
+        // The compute-partition timeline may also contain idle tail time;
+        // phases never exceed the makespan.
+        assert!(total <= it.execution_time + ivis_sim::SimDuration::from_secs(1));
+        assert!(it.t_sim.as_secs_f64() > 600.0, "slowed t_sim > 603 s");
+    }
+
+    #[test]
+    #[should_panic(expected = "proper subset")]
+    fn zero_staging_rejected() {
+        let _ = run_it(0, 24.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # ivis-core — the paper's pipeline layer
+//!
+//! This crate is the primary contribution of the reproduced paper: coupled
+//! simulation + visualization pipelines, instrumented for performance,
+//! power, energy and storage, in both flavors the paper compares:
+//!
+//! * **Post-processing** (Fig. 1a): the simulation writes raw data every
+//!   sample through a PIO-style collective writer; after the run, the data
+//!   is read back and rendered.
+//! * **In-situ** (Fig. 1b): a Catalyst-style adaptor copies simulation
+//!   structures to visualization structures at every sample; images are
+//!   rendered in place and only the (tiny) image database hits storage.
+//!
+//! Two execution backends share the same pipeline semantics:
+//!
+//! * [`campaign`] — the *measured-cluster* backend: runs a pipeline against
+//!   the simulated 150-node *Caddy* machine ([`ivis_cluster`]) and its
+//!   Lustre rack ([`ivis_storage`]), with per-minute power meters attached,
+//!   and returns the full [`metrics::PipelineMetrics`] the paper reports.
+//! * [`native`] — the *laptop* backend: actually time-steps the ocean,
+//!   renders PNGs, encodes ncdf files and tracks eddies, measuring real
+//!   wall-clock time.
+//!
+//! Shared pieces: [`adaptor`] (the Catalyst analogue), [`config`]
+//! (pipeline kind, sampling rate, cost constants).
+
+pub mod adaptor;
+pub mod campaign;
+pub mod config;
+pub mod intransit;
+pub mod metrics;
+pub mod native;
+
+pub use adaptor::{CatalystAdaptor, VizSnapshot};
+pub use campaign::{Campaign, CampaignConfig};
+pub use config::{PipelineConfig, PipelineKind};
+pub use metrics::PipelineMetrics;

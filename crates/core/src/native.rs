@@ -1,0 +1,410 @@
+//! The native (laptop-scale) backend: actually run everything.
+//!
+//! Where [`crate::campaign`] *models* the paper-scale run on a simulated
+//! cluster, this backend really executes the coupled pipeline at a reduced
+//! resolution: the shallow-water solver steps, the adaptor copies, the
+//! renderer rasterizes PNGs, ncdf files are encoded and decoded, and eddies
+//! are tracked — with real wall-clock timing per phase. The examples and the
+//! cognitive-fidelity tests (do both pipelines see the *same* eddies?) run
+//! on this backend.
+
+use std::time::{Duration, Instant};
+
+use ivis_eddy::census::{frame_census, FrameCensus};
+use ivis_eddy::features::extract_features;
+use ivis_eddy::segment::segment_eddies;
+use ivis_eddy::tracking::{EddyTracker, Track};
+use ivis_ocean::grid::Grid;
+use ivis_ocean::shallow_water::{ShallowWaterModel, SwParams};
+use ivis_ocean::vortex::seed_random_eddies;
+use ivis_ocean::Field2D;
+use ivis_storage::ncdf::{NcFile, VarData};
+use ivis_viz::render::FieldRenderer;
+use ivis_viz::CinemaDatabase;
+
+use crate::adaptor::{CatalystAdaptor, VizSnapshot};
+
+/// Configuration of a native run.
+#[derive(Debug, Clone)]
+pub struct NativeConfig {
+    /// Grid columns.
+    pub nx: usize,
+    /// Grid rows.
+    pub ny: usize,
+    /// Cell size, meters.
+    pub cell_m: f64,
+    /// Timesteps to run.
+    pub steps: u64,
+    /// Steps between outputs.
+    pub output_every: u64,
+    /// Random eddies to seed.
+    pub num_eddies: usize,
+    /// RNG seed for eddy placement.
+    pub seed: u64,
+    /// Output image width.
+    pub image_width: usize,
+    /// Output image height.
+    pub image_height: usize,
+    /// Draw annotations (colorbar, timestep label, velocity arrows) on each
+    /// frame, like a presentation-ready ParaView view.
+    pub annotate: bool,
+}
+
+impl NativeConfig {
+    /// A seconds-scale demo configuration.
+    pub fn small() -> Self {
+        NativeConfig {
+            nx: 96,
+            ny: 64,
+            cell_m: 60_000.0,
+            steps: 96,
+            output_every: 16,
+            num_eddies: 6,
+            seed: 42,
+            image_width: 192,
+            image_height: 128,
+            annotate: false,
+        }
+    }
+
+    /// A sub-second configuration for tests.
+    pub fn tiny() -> Self {
+        NativeConfig {
+            nx: 32,
+            ny: 24,
+            cell_m: 60_000.0,
+            steps: 24,
+            output_every: 8,
+            num_eddies: 3,
+            seed: 7,
+            image_width: 64,
+            image_height: 48,
+            annotate: false,
+        }
+    }
+
+    fn build_model(&self) -> ShallowWaterModel {
+        let grid = Grid::channel(self.nx, self.ny, self.cell_m);
+        let params = SwParams::eddy_channel(&grid);
+        let mut m = ShallowWaterModel::new(grid, params);
+        seed_random_eddies(&mut m, self.num_eddies, self.seed);
+        m
+    }
+}
+
+/// What a native run produced and how long each phase really took.
+#[derive(Debug, Clone)]
+pub struct NativeReport {
+    /// Frames (outputs) produced.
+    pub frames: u64,
+    /// Wall time in the solver.
+    pub wall_sim: Duration,
+    /// Wall time adapting + rendering + tracking.
+    pub wall_viz: Duration,
+    /// Wall time encoding/decoding/storing output.
+    pub wall_io: Duration,
+    /// Raw (ncdf) bytes produced — zero for in-situ.
+    pub raw_bytes: u64,
+    /// Image database bytes.
+    pub image_bytes: u64,
+    /// The Cinema image database.
+    pub cinema: CinemaDatabase,
+    /// Finished eddy tracks.
+    pub tracks: Vec<Track>,
+    /// Census of the final frame.
+    pub final_census: FrameCensus,
+}
+
+impl NativeReport {
+    /// Total wall time.
+    pub fn wall_total(&self) -> Duration {
+        self.wall_sim + self.wall_viz + self.wall_io
+    }
+
+    /// Storage reduction of in-situ relative to a post-processing run
+    /// (percent) given this report is the in-situ one.
+    pub fn storage_reduction_vs(&self, post: &NativeReport) -> f64 {
+        let post_total = (post.raw_bytes + post.image_bytes) as f64;
+        let own_total = (self.raw_bytes + self.image_bytes) as f64;
+        (post_total - own_total) / post_total * 100.0
+    }
+}
+
+fn tracker_for(grid: &Grid) -> EddyTracker {
+    let (lx, _) = grid.extent();
+    // Gate: eddies drift slowly; half a basin-width per frame is plenty.
+    EddyTracker::new(6.0 * grid.dx, 2, lx)
+}
+
+fn visualize_frame(
+    renderer: &FieldRenderer,
+    cinema: &mut CinemaDatabase,
+    tracker: &mut EddyTracker,
+    grid: &Grid,
+    snap: &VizSnapshot,
+    frame: u64,
+    annotate: bool,
+) -> FrameCensus {
+    let w = &snap.okubo_weiss;
+    let seg = segment_eddies(w, 0.2, 3);
+    let feats = extract_features(grid, w, &seg);
+    tracker.observe(frame, &feats);
+    let mut img = renderer.render(w);
+    if annotate {
+        use ivis_viz::annotate::{draw_colorbar, draw_text, GLYPH_H};
+        use ivis_viz::color::Rgb;
+        use ivis_viz::glyphs::overlay_velocity_arrows;
+        overlay_velocity_arrows(&mut img, &snap.uc, &snap.vc, 24, Rgb::new(40, 40, 40));
+        let (lo, hi) = renderer.resolve_range(w);
+        let bar_w = (img.width() / 3).max(40).min(img.width().saturating_sub(8));
+        let bar_y = img.height().saturating_sub(GLYPH_H + 10);
+        draw_colorbar(&mut img, 4, bar_y, bar_w, 6, renderer.colormap, lo, hi);
+        let label = format!("T = {:.0} H", snap.sim_hours);
+        draw_text(&mut img, 4, 2, &label, Rgb::BLACK);
+    }
+    cinema.add_image(snap.timestep, snap.sim_hours, &img);
+    frame_census(&feats)
+}
+
+/// Run the in-situ pipeline natively: simulate, adapt, render and track in
+/// place; only images are "written".
+pub fn run_native_insitu(cfg: &NativeConfig) -> NativeReport {
+    let mut model = cfg.build_model();
+    let mut adaptor = CatalystAdaptor::new();
+    let renderer = FieldRenderer::okubo_weiss(cfg.image_width, cfg.image_height);
+    let mut cinema = CinemaDatabase::new("insitu-eddies");
+    let mut tracker = tracker_for(model.grid());
+    let mut wall_sim = Duration::ZERO;
+    let mut wall_viz = Duration::ZERO;
+    let mut frames = 0u64;
+    let mut census = frame_census(&[]);
+    let mut step = 0u64;
+    while step < cfg.steps {
+        let chunk = cfg.output_every.min(cfg.steps - step);
+        let t0 = Instant::now();
+        model.run(chunk);
+        wall_sim += t0.elapsed();
+        step += chunk;
+        let t1 = Instant::now();
+        let snap = adaptor.adapt(&model);
+        census = visualize_frame(
+            &renderer,
+            &mut cinema,
+            &mut tracker,
+            model.grid(),
+            &snap,
+            frames,
+            cfg.annotate,
+        );
+        wall_viz += t1.elapsed();
+        frames += 1;
+    }
+    let image_bytes = cinema.total_bytes();
+    NativeReport {
+        frames,
+        wall_sim,
+        wall_viz,
+        wall_io: Duration::ZERO, // image bytes counted; kept in memory here
+        raw_bytes: 0,
+        image_bytes,
+        cinema,
+        tracks: tracker.finish(),
+        final_census: census,
+    }
+}
+
+/// Encode a snapshot as an ncdf-lite file (the post-processing raw output):
+/// the Okubo-Weiss field plus everything the renderer needs to reproduce the
+/// in-situ frames exactly (SSH, centered velocities).
+fn encode_raw(snap: &VizSnapshot) -> Vec<u8> {
+    let w = &snap.okubo_weiss;
+    let mut f = NcFile::new();
+    let dy = f.add_dim("y", w.ny() as u64);
+    let dx = f.add_dim("x", w.nx() as u64);
+    f.add_attr("timestep", snap.timestep.to_string());
+    f.add_attr("sim_hours", format!("{}", snap.sim_hours));
+    for (name, field) in [
+        ("W", w),
+        ("ssh", &snap.ssh),
+        ("uc", &snap.uc),
+        ("vc", &snap.vc),
+    ] {
+        f.add_var(name, vec![dy, dx], VarData::F64(field.data().to_vec()))
+            .expect("shape is consistent");
+    }
+    f.encode().to_vec()
+}
+
+/// Decode a raw file back into a [`VizSnapshot`].
+fn decode_raw(bytes: &[u8]) -> VizSnapshot {
+    let f = NcFile::decode(bytes).expect("self-produced file must parse");
+    let ny = f.dims[0].1 as usize;
+    let nx = f.dims[1].1 as usize;
+    let to_field = |name: &str| -> Field2D {
+        let var = f.var(name).expect("variable present");
+        let data = match &var.data {
+            VarData::F64(xs) => xs.clone(),
+            other => panic!("expected f64 data, got {other:?}"),
+        };
+        let mut field = Field2D::zeros(nx, ny);
+        field.data_mut().copy_from_slice(&data);
+        field
+    };
+    VizSnapshot {
+        timestep: f.attr("timestep").expect("attr").parse().expect("number"),
+        sim_hours: f.attr("sim_hours").expect("attr").parse().expect("number"),
+        ssh: to_field("ssh"),
+        uc: to_field("uc"),
+        vc: to_field("vc"),
+        okubo_weiss: to_field("W"),
+    }
+}
+
+/// Run the post-processing pipeline natively: simulate and write raw ncdf
+/// every sample; afterwards read everything back, render and track.
+pub fn run_native_postproc(cfg: &NativeConfig) -> NativeReport {
+    let mut model = cfg.build_model();
+    let mut adaptor = CatalystAdaptor::new();
+    let mut wall_sim = Duration::ZERO;
+    let mut wall_io = Duration::ZERO;
+    let mut store: Vec<Vec<u8>> = Vec::new();
+    let mut step = 0u64;
+    // Stage 1: simulate + write raw.
+    while step < cfg.steps {
+        let chunk = cfg.output_every.min(cfg.steps - step);
+        let t0 = Instant::now();
+        model.run(chunk);
+        wall_sim += t0.elapsed();
+        step += chunk;
+        let t1 = Instant::now();
+        let snap = adaptor.adapt(&model);
+        store.push(encode_raw(&snap));
+        wall_io += t1.elapsed();
+    }
+    let raw_bytes: u64 = store.iter().map(|b| b.len() as u64).sum();
+    // Stage 2: read back, render, track.
+    let renderer = FieldRenderer::okubo_weiss(cfg.image_width, cfg.image_height);
+    let mut cinema = CinemaDatabase::new("postproc-eddies");
+    let mut tracker = tracker_for(model.grid());
+    let mut wall_viz = Duration::ZERO;
+    let mut census = frame_census(&[]);
+    for (frame, bytes) in store.iter().enumerate() {
+        let t0 = Instant::now();
+        let snap = decode_raw(bytes);
+        wall_io += t0.elapsed();
+        let t1 = Instant::now();
+        census = visualize_frame(
+            &renderer,
+            &mut cinema,
+            &mut tracker,
+            model.grid(),
+            &snap,
+            frame as u64,
+            cfg.annotate,
+        );
+        wall_viz += t1.elapsed();
+    }
+    let image_bytes = cinema.total_bytes();
+    NativeReport {
+        frames: store.len() as u64,
+        wall_sim,
+        wall_viz,
+        wall_io,
+        raw_bytes,
+        image_bytes,
+        cinema,
+        tracks: tracker.finish(),
+        final_census: census,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_pipelines_produce_identical_images() {
+        // The cognitive-fidelity claim: in-situ loses nothing relative to
+        // post-processing (f64 roundtrips exactly through ncdf-lite).
+        let cfg = NativeConfig::tiny();
+        let a = run_native_insitu(&cfg);
+        let b = run_native_postproc(&cfg);
+        assert_eq!(a.frames, b.frames);
+        assert_eq!(a.cinema.len(), b.cinema.len());
+        for (ea, eb) in a.cinema.entries().iter().zip(b.cinema.entries()) {
+            assert_eq!(ea.timestep, eb.timestep);
+            assert_eq!(ea.data, eb.data, "frame {} differs", ea.timestep);
+        }
+    }
+
+    #[test]
+    fn both_pipelines_track_the_same_eddies() {
+        let cfg = NativeConfig::tiny();
+        let a = run_native_insitu(&cfg);
+        let b = run_native_postproc(&cfg);
+        assert_eq!(a.tracks.len(), b.tracks.len());
+        assert_eq!(a.final_census, b.final_census);
+    }
+
+    #[test]
+    fn insitu_writes_orders_of_magnitude_less() {
+        let cfg = NativeConfig::tiny();
+        let a = run_native_insitu(&cfg);
+        let b = run_native_postproc(&cfg);
+        assert_eq!(a.raw_bytes, 0);
+        assert!(b.raw_bytes > 0);
+        // Raw field data dwarfs what post-processing adds in images.
+        let reduction = a.storage_reduction_vs(&b);
+        assert!(reduction > 0.0, "reduction = {reduction}%");
+    }
+
+    #[test]
+    fn frames_and_eddies_exist() {
+        let cfg = NativeConfig::tiny();
+        let r = run_native_insitu(&cfg);
+        assert_eq!(r.frames, 3); // 24 steps / every 8
+        assert!(r.final_census.count > 0, "seeded eddies should be detected");
+        assert!(!r.tracks.is_empty());
+        assert!(r.image_bytes > 0);
+    }
+
+    #[test]
+    fn wall_times_are_measured() {
+        let cfg = NativeConfig::tiny();
+        let r = run_native_postproc(&cfg);
+        assert!(r.wall_sim > Duration::ZERO);
+        assert!(r.wall_viz > Duration::ZERO);
+        assert!(r.wall_io > Duration::ZERO);
+        assert_eq!(r.wall_total(), r.wall_sim + r.wall_viz + r.wall_io);
+    }
+
+    #[test]
+    fn raw_roundtrip_is_exact() {
+        let field = |k: f64| Field2D::from_fn(8, 6, move |i, j| (i as f64 * k).sin() + j as f64);
+        let snap = VizSnapshot {
+            timestep: 123,
+            sim_hours: 61.5,
+            ssh: field(0.3),
+            uc: field(0.5),
+            vc: field(0.7),
+            okubo_weiss: field(0.9),
+        };
+        let bytes = encode_raw(&snap);
+        let back = decode_raw(&bytes);
+        assert_eq!(back.okubo_weiss.data(), snap.okubo_weiss.data());
+        assert_eq!(back.ssh.data(), snap.ssh.data());
+        assert_eq!(back.uc.data(), snap.uc.data());
+        assert_eq!(back.vc.data(), snap.vc.data());
+        assert_eq!(back.timestep, 123);
+        assert_eq!(back.sim_hours, 61.5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = NativeConfig::tiny();
+        let a = run_native_insitu(&cfg);
+        let b = run_native_insitu(&cfg);
+        assert_eq!(a.image_bytes, b.image_bytes);
+        assert_eq!(a.tracks.len(), b.tracks.len());
+    }
+}

@@ -1,0 +1,112 @@
+//! Model validation (Fig. 8): predicted vs measured execution time.
+
+use crate::calibrate::CalibrationPoint;
+use crate::perf::PerfModel;
+
+/// One validation row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValidationRow {
+    /// The measured point.
+    pub measured: CalibrationPoint,
+    /// The model's prediction, seconds.
+    pub predicted_seconds: f64,
+    /// Signed relative error `(pred − meas) / meas`.
+    pub rel_error: f64,
+}
+
+/// Validation summary over a set of measured configurations.
+#[derive(Debug, Clone)]
+pub struct ValidationReport {
+    /// Per-point rows.
+    pub rows: Vec<ValidationRow>,
+}
+
+impl ValidationReport {
+    /// Largest absolute relative error (the paper reports < 0.5 %).
+    pub fn max_abs_rel_error(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| r.rel_error.abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean absolute relative error.
+    pub fn mean_abs_rel_error(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().map(|r| r.rel_error.abs()).sum::<f64>() / self.rows.len() as f64
+    }
+}
+
+/// Validate `model` against measured points taken at `iter_any` timesteps.
+pub fn validate(model: &PerfModel, points: &[CalibrationPoint], iter_any: u64) -> ValidationReport {
+    let rows = points
+        .iter()
+        .map(|&measured| {
+            let predicted_seconds =
+                model.predict_seconds(iter_any, measured.s_io_gb, measured.n_viz);
+            ValidationRow {
+                measured,
+                predicted_seconds,
+                rel_error: (predicted_seconds - measured.t_seconds) / measured.t_seconds,
+            }
+        })
+        .collect();
+    ValidationReport { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::{calibrate_exact, paper_points};
+
+    #[test]
+    fn calibration_points_validate_exactly() {
+        let model = calibrate_exact(&paper_points(), 8640).unwrap();
+        let report = validate(&model, &paper_points(), 8640);
+        assert!(report.max_abs_rel_error() < 1e-9);
+    }
+
+    #[test]
+    fn held_out_points_validate_well() {
+        // The paper's Fig. 8 evaluates the model on the other three
+        // configurations; with the published constants the errors are tiny.
+        let model = calibrate_exact(&paper_points(), 8640).unwrap();
+        let held_out = [
+            // in-situ @24 h: 0.2 GB, 180 images; model ⇒ ~820 s.
+            CalibrationPoint::new(820.0, 0.2, 180.0),
+            // post @8 h: 230 GB, 540 images; model ⇒ ~2700 s.
+            CalibrationPoint::new(2700.0, 230.0, 540.0),
+            // post @72 h: 26.6 GB, 60 images; model ⇒ ~843 s.
+            CalibrationPoint::new(843.0, 26.6, 60.0),
+        ];
+        let report = validate(&model, &held_out, 8640);
+        assert!(
+            report.max_abs_rel_error() < 0.005,
+            "max error {:.4}",
+            report.max_abs_rel_error()
+        );
+    }
+
+    #[test]
+    fn report_statistics() {
+        let model = PerfModel::paper();
+        let pts = [
+            CalibrationPoint::new(700.0, 0.1, 60.0),
+            CalibrationPoint::new(1300.0, 0.6, 540.0),
+        ];
+        let report = validate(&model, &pts, 8640);
+        assert_eq!(report.rows.len(), 2);
+        assert!(report.mean_abs_rel_error() <= report.max_abs_rel_error());
+        assert!(report.rows[0].rel_error < 0.0, "model under-predicts 700");
+    }
+
+    #[test]
+    fn empty_report_is_zero() {
+        let model = PerfModel::paper();
+        let report = validate(&model, &[], 8640);
+        assert_eq!(report.max_abs_rel_error(), 0.0);
+        assert_eq!(report.mean_abs_rel_error(), 0.0);
+    }
+}

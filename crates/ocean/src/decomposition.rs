@@ -1,0 +1,130 @@
+//! 1-D block domain decomposition.
+//!
+//! The paper's MPAS-O run decomposes the ocean mesh across 2400 cores; the
+//! cost model and the PIO writer need to know how much data each rank owns
+//! and how much halo it exchanges per step. We model a 1-D decomposition in
+//! y: each rank owns a contiguous block of rows plus one halo row on each
+//! interior side.
+
+/// A rank's slice of the domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankSlab {
+    /// First owned row.
+    pub row_start: usize,
+    /// One past the last owned row.
+    pub row_end: usize,
+    /// Number of halo rows exchanged with neighbors per step (0, 1 or 2
+    /// sides × halo width 1).
+    pub halo_rows: usize,
+}
+
+impl RankSlab {
+    /// Owned row count.
+    pub fn rows(&self) -> usize {
+        self.row_end - self.row_start
+    }
+}
+
+/// Decompose `ny` rows across `nranks` ranks as evenly as possible
+/// (remainder rows go to the lowest ranks).
+///
+/// # Panics
+/// Panics if `nranks` is zero or exceeds `ny`.
+pub fn decompose_rows(ny: usize, nranks: usize) -> Vec<RankSlab> {
+    assert!(nranks > 0, "need at least one rank");
+    assert!(nranks <= ny, "more ranks ({nranks}) than rows ({ny})");
+    let base = ny / nranks;
+    let extra = ny % nranks;
+    let mut slabs = Vec::with_capacity(nranks);
+    let mut start = 0;
+    for r in 0..nranks {
+        let rows = base + usize::from(r < extra);
+        let end = start + rows;
+        let mut halo = 0;
+        if r > 0 {
+            halo += 1;
+        }
+        if r + 1 < nranks {
+            halo += 1;
+        }
+        slabs.push(RankSlab {
+            row_start: start,
+            row_end: end,
+            halo_rows: halo,
+        });
+        start = end;
+    }
+    slabs
+}
+
+/// Bytes of field data a rank owns: `rows × nx × fields × 8`.
+pub fn rank_bytes(slab: &RankSlab, nx: usize, fields_per_cell: usize) -> u64 {
+    (slab.rows() * nx * fields_per_cell * 8) as u64
+}
+
+/// Bytes a rank exchanges per halo update: `halo_rows × nx × fields × 8`.
+pub fn halo_bytes(slab: &RankSlab, nx: usize, fields_per_cell: usize) -> u64 {
+    (slab.halo_rows * nx * fields_per_cell * 8) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split() {
+        let slabs = decompose_rows(100, 4);
+        assert_eq!(slabs.len(), 4);
+        for s in &slabs {
+            assert_eq!(s.rows(), 25);
+        }
+        assert_eq!(slabs[0].row_start, 0);
+        assert_eq!(slabs[3].row_end, 100);
+    }
+
+    #[test]
+    fn remainder_goes_to_low_ranks() {
+        let slabs = decompose_rows(10, 3);
+        assert_eq!(
+            slabs.iter().map(RankSlab::rows).collect::<Vec<_>>(),
+            vec![4, 3, 3]
+        );
+        // Contiguous coverage.
+        for w in slabs.windows(2) {
+            assert_eq!(w[0].row_end, w[1].row_start);
+        }
+    }
+
+    #[test]
+    fn halo_counts() {
+        let slabs = decompose_rows(10, 3);
+        assert_eq!(slabs[0].halo_rows, 1); // only a northern neighbor
+        assert_eq!(slabs[1].halo_rows, 2);
+        assert_eq!(slabs[2].halo_rows, 1);
+        let single = decompose_rows(10, 1);
+        assert_eq!(single[0].halo_rows, 0);
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let slabs = decompose_rows(8, 2);
+        let s = &slabs[0];
+        assert_eq!(rank_bytes(s, 16, 3), (4 * 16 * 3 * 8) as u64);
+        assert_eq!(halo_bytes(s, 16, 3), (16 * 3 * 8) as u64);
+    }
+
+    #[test]
+    fn total_bytes_partition_domain() {
+        let ny = 128;
+        let nx = 256;
+        let slabs = decompose_rows(ny, 7);
+        let total: u64 = slabs.iter().map(|s| rank_bytes(s, nx, 2)).sum();
+        assert_eq!(total, (nx * ny * 2 * 8) as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "more ranks")]
+    fn too_many_ranks_rejected() {
+        let _ = decompose_rows(4, 5);
+    }
+}

@@ -1,0 +1,209 @@
+//! Dense 2-D scalar fields.
+//!
+//! Row-major storage (`idx = j * nx + i`), with parallel row-wise iteration
+//! built on rayon for the compute kernels (time stepping, Okubo-Weiss).
+
+use rayon::prelude::*;
+
+/// A dense row-major 2-D field of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field2D {
+    nx: usize,
+    ny: usize,
+    data: Vec<f64>,
+}
+
+impl Field2D {
+    /// A field of zeros with `nx` columns and `ny` rows.
+    pub fn zeros(nx: usize, ny: usize) -> Self {
+        assert!(nx > 0 && ny > 0, "field dimensions must be positive");
+        Field2D {
+            nx,
+            ny,
+            data: vec![0.0; nx * ny],
+        }
+    }
+
+    /// A field filled with `value`.
+    pub fn filled(nx: usize, ny: usize, value: f64) -> Self {
+        let mut f = Field2D::zeros(nx, ny);
+        f.data.fill(value);
+        f
+    }
+
+    /// Build a field by evaluating `f(i, j)` at every point (in parallel).
+    pub fn from_fn(nx: usize, ny: usize, f: impl Fn(usize, usize) -> f64 + Sync) -> Self {
+        assert!(nx > 0 && ny > 0, "field dimensions must be positive");
+        let mut data = vec![0.0; nx * ny];
+        data.par_chunks_mut(nx).enumerate().for_each(|(j, row)| {
+            for (i, v) in row.iter_mut().enumerate() {
+                *v = f(i, j);
+            }
+        });
+        Field2D { nx, ny, data }
+    }
+
+    /// Number of columns.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Number of rows.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` iff the field has no elements (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Value at column `i`, row `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.nx && j < self.ny);
+        self.data[j * self.nx + i]
+    }
+
+    /// Set the value at column `i`, row `j`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.nx && j < self.ny);
+        self.data[j * self.nx + i] = v;
+    }
+
+    /// Value with periodic wraparound in `i` (x is periodic in the basin).
+    #[inline]
+    pub fn get_wrap_x(&self, i: isize, j: usize) -> f64 {
+        let nx = self.nx as isize;
+        let iw = i.rem_euclid(nx) as usize;
+        self.get(iw, j)
+    }
+
+    /// Raw data, row-major.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw data, row-major.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Parallel mutable row iterator: `(j, row)` pairs.
+    pub fn par_rows_mut(&mut self) -> impl IndexedParallelIterator<Item = (usize, &mut [f64])> {
+        self.data.par_chunks_mut(self.nx).enumerate()
+    }
+
+    /// Sum of all elements (parallel reduction).
+    pub fn sum(&self) -> f64 {
+        self.data.par_iter().sum()
+    }
+
+    /// Minimum element.
+    pub fn min(&self) -> f64 {
+        self.data
+            .par_iter()
+            .copied()
+            .reduce(|| f64::INFINITY, f64::min)
+    }
+
+    /// Maximum element.
+    pub fn max(&self) -> f64 {
+        self.data
+            .par_iter()
+            .copied()
+            .reduce(|| f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f64 {
+        self.sum() / self.data.len() as f64
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        let mean = self.mean();
+        let var = self
+            .data
+            .par_iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / self.data.len() as f64;
+        var.sqrt()
+    }
+
+    /// Maximum absolute value.
+    pub fn max_abs(&self) -> f64 {
+        self.data
+            .par_iter()
+            .map(|x| x.abs())
+            .reduce(|| 0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut f = Field2D::zeros(4, 3);
+        assert_eq!((f.nx(), f.ny(), f.len()), (4, 3, 12));
+        f.set(2, 1, 7.5);
+        assert_eq!(f.get(2, 1), 7.5);
+        assert_eq!(f.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn from_fn_matches_formula() {
+        let f = Field2D::from_fn(5, 4, |i, j| (i + 10 * j) as f64);
+        for j in 0..4 {
+            for i in 0..5 {
+                assert_eq!(f.get(i, j), (i + 10 * j) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn wraparound_in_x() {
+        let f = Field2D::from_fn(4, 2, |i, _| i as f64);
+        assert_eq!(f.get_wrap_x(-1, 0), 3.0);
+        assert_eq!(f.get_wrap_x(4, 1), 0.0);
+        assert_eq!(f.get_wrap_x(9, 0), 1.0);
+    }
+
+    #[test]
+    fn reductions() {
+        let f = Field2D::from_fn(3, 3, |i, j| (i as f64) - (j as f64));
+        assert_eq!(f.min(), -2.0);
+        assert_eq!(f.max(), 2.0);
+        assert!((f.sum() - 0.0).abs() < 1e-12);
+        assert!((f.mean() - 0.0).abs() < 1e-12);
+        assert_eq!(f.max_abs(), 2.0);
+    }
+
+    #[test]
+    fn std_dev_matches_naive() {
+        let f = Field2D::from_fn(2, 2, |i, j| (2 * j + i) as f64); // 0,1,2,3
+        // variance of {0,1,2,3} = 1.25
+        assert!((f.std_dev() - 1.25f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filled_is_constant() {
+        let f = Field2D::filled(7, 2, 3.25);
+        assert!(f.data().iter().all(|&x| x == 3.25));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_size_rejected() {
+        let _ = Field2D::zeros(0, 5);
+    }
+}

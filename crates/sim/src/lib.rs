@@ -1,0 +1,36 @@
+//! # ivis-sim — discrete-event simulation engine
+//!
+//! A small, deterministic discrete-event simulation (DES) substrate used by
+//! the cluster, storage and pipeline models of the `insitu-vis` workspace.
+//!
+//! The engine is deliberately minimal but complete:
+//!
+//! * [`SimTime`] / [`SimDuration`] — microsecond-resolution simulated time.
+//! * [`Simulation`] — an event calendar whose events are closures acting on a
+//!   caller-supplied world type `W`. Determinism is guaranteed by a
+//!   monotonically increasing sequence number that breaks timestamp ties in
+//!   insertion order.
+//! * [`resource`] — analytic queueing servers: a processor-sharing
+//!   [`resource::FairShareServer`] (models bandwidth-shared storage servers)
+//!   and a FIFO [`resource::FcfsServer`] (models metadata servers).
+//! * [`rng`] — a small, dependency-free deterministic PRNG
+//!   (SplitMix64-seeded xoshiro256++) with normal/lognormal samplers, so
+//!   simulated measurements are reproducible across runs and platforms.
+//! * [`stats`] — online statistics (Welford), percentiles, histograms.
+//! * [`trace`] — time-series recording with step-function integration and
+//!   fixed-interval resampling (this is what the simulated power meters use).
+//!
+//! The engine contains no I/O and no global state; every simulation is a
+//! value.
+
+pub mod event;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use event::Simulation;
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};
+pub use trace::TimeSeries;

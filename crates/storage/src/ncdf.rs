@@ -1,0 +1,549 @@
+//! *ncdf-lite*: a real, self-describing array file format.
+//!
+//! The paper's post-processing pipeline writes the Okubo-Weiss field as
+//! netCDF through PIO. We stand in a compact but genuine format with the
+//! same essentials — named dimensions, global attributes, typed
+//! multi-dimensional variables — and byte-exact serialization, so the
+//! storage sizes that drive the paper's `S_io` term come from actually
+//! encoded files rather than made-up numbers.
+//!
+//! ### Wire format (little-endian)
+//!
+//! ```text
+//! magic   "NCDL"            4 B
+//! version u16               currently 1
+//! flags   u16               reserved, 0
+//! dims    u32 count, then per dim:  name(u16 len + utf8), size u64
+//! attrs   u32 count, then per attr: name, value (both u16 len + utf8)
+//! vars    u32 count, then per var:  name, dtype u8, ndims u8,
+//!                                   dim indices u32 × ndims,
+//!                                   element count u64, raw LE data
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Magic bytes identifying an ncdf-lite file.
+pub const MAGIC: &[u8; 4] = b"NCDL";
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+/// Element type of a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataType {
+    /// 32-bit IEEE float.
+    F32,
+    /// 64-bit IEEE float.
+    F64,
+    /// 32-bit signed integer.
+    I32,
+    /// Raw bytes.
+    U8,
+}
+
+impl DataType {
+    fn code(self) -> u8 {
+        match self {
+            DataType::F32 => 0,
+            DataType::F64 => 1,
+            DataType::I32 => 2,
+            DataType::U8 => 3,
+        }
+    }
+
+    fn from_code(c: u8) -> Result<Self, NcError> {
+        Ok(match c {
+            0 => DataType::F32,
+            1 => DataType::F64,
+            2 => DataType::I32,
+            3 => DataType::U8,
+            other => return Err(NcError::BadDataType(other)),
+        })
+    }
+
+    /// Bytes per element.
+    pub fn size(self) -> usize {
+        match self {
+            DataType::F32 | DataType::I32 => 4,
+            DataType::F64 => 8,
+            DataType::U8 => 1,
+        }
+    }
+}
+
+/// Typed variable payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VarData {
+    /// 32-bit floats.
+    F32(Vec<f32>),
+    /// 64-bit floats.
+    F64(Vec<f64>),
+    /// 32-bit signed integers.
+    I32(Vec<i32>),
+    /// Raw bytes.
+    U8(Vec<u8>),
+}
+
+impl VarData {
+    /// The element type of this payload.
+    pub fn dtype(&self) -> DataType {
+        match self {
+            VarData::F32(_) => DataType::F32,
+            VarData::F64(_) => DataType::F64,
+            VarData::I32(_) => DataType::I32,
+            VarData::U8(_) => DataType::U8,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            VarData::F32(v) => v.len(),
+            VarData::F64(v) => v.len(),
+            VarData::I32(v) => v.len(),
+            VarData::U8(v) => v.len(),
+        }
+    }
+
+    /// `true` iff there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A variable: a named, typed array over a subset of the file's dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NcVariable {
+    /// Variable name.
+    pub name: String,
+    /// Indices into the file's dimension table, slowest-varying first.
+    pub dims: Vec<usize>,
+    /// The payload.
+    pub data: VarData,
+}
+
+/// Errors from encoding or decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NcError {
+    /// Not an ncdf-lite file.
+    BadMagic,
+    /// Unsupported version.
+    BadVersion(u16),
+    /// Unknown data-type code.
+    BadDataType(u8),
+    /// Input ended prematurely.
+    Truncated,
+    /// A name was not valid UTF-8.
+    BadName,
+    /// Variable shape does not match its data length.
+    ShapeMismatch {
+        /// Variable name.
+        name: String,
+        /// Elements implied by the dimensions.
+        expected: u64,
+        /// Elements actually present.
+        actual: u64,
+    },
+    /// A variable references a dimension index that does not exist.
+    BadDimIndex(usize),
+}
+
+impl std::fmt::Display for NcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NcError::BadMagic => write!(f, "bad magic"),
+            NcError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            NcError::BadDataType(c) => write!(f, "unknown dtype code {c}"),
+            NcError::Truncated => write!(f, "truncated input"),
+            NcError::BadName => write!(f, "invalid UTF-8 in name"),
+            NcError::ShapeMismatch {
+                name,
+                expected,
+                actual,
+            } => write!(f, "variable {name}: shape implies {expected} elements, got {actual}"),
+            NcError::BadDimIndex(i) => write!(f, "dimension index {i} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for NcError {}
+
+/// An in-memory ncdf-lite file.
+///
+/// ```
+/// use ivis_storage::ncdf::{NcFile, VarData};
+///
+/// let mut f = NcFile::new();
+/// let cells = f.add_dim("cells", 4);
+/// f.add_attr("title", "okubo-weiss");
+/// f.add_var("W", vec![cells], VarData::F64(vec![-1.0, 0.5, 2.0, -0.2])).unwrap();
+/// let bytes = f.encode();
+/// assert_eq!(bytes.len() as u64, f.encoded_size());
+/// assert_eq!(NcFile::decode(&bytes).unwrap(), f);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NcFile {
+    /// Named dimensions.
+    pub dims: Vec<(String, u64)>,
+    /// Global attributes.
+    pub attrs: Vec<(String, String)>,
+    /// Variables.
+    pub vars: Vec<NcVariable>,
+}
+
+impl NcFile {
+    /// An empty file.
+    pub fn new() -> Self {
+        NcFile::default()
+    }
+
+    /// Add a dimension, returning its index.
+    pub fn add_dim(&mut self, name: impl Into<String>, size: u64) -> usize {
+        self.dims.push((name.into(), size));
+        self.dims.len() - 1
+    }
+
+    /// Add a global attribute.
+    pub fn add_attr(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.attrs.push((name.into(), value.into()));
+    }
+
+    /// Add a variable, validating its shape against the dimension table.
+    pub fn add_var(
+        &mut self,
+        name: impl Into<String>,
+        dims: Vec<usize>,
+        data: VarData,
+    ) -> Result<(), NcError> {
+        let name = name.into();
+        let mut expected: u64 = 1;
+        for &d in &dims {
+            let (_, size) = self.dims.get(d).ok_or(NcError::BadDimIndex(d))?;
+            expected = expected.saturating_mul(*size);
+        }
+        if dims.is_empty() {
+            expected = data.len() as u64; // scalar/opaque variables
+        }
+        if expected != data.len() as u64 {
+            return Err(NcError::ShapeMismatch {
+                name,
+                expected,
+                actual: data.len() as u64,
+            });
+        }
+        self.vars.push(NcVariable { name, dims, data });
+        Ok(())
+    }
+
+    /// Find a variable by name.
+    pub fn var(&self, name: &str) -> Option<&NcVariable> {
+        self.vars.iter().find(|v| v.name == name)
+    }
+
+    /// Find an attribute value by name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Exact encoded size in bytes, without encoding.
+    pub fn encoded_size(&self) -> u64 {
+        let mut n = 4 + 2 + 2; // magic + version + flags
+        n += 4;
+        for (name, _) in &self.dims {
+            n += 2 + name.len() + 8;
+        }
+        n += 4;
+        for (name, value) in &self.attrs {
+            n += 2 + name.len() + 2 + value.len();
+        }
+        n += 4;
+        for v in &self.vars {
+            n += 2 + v.name.len() + 1 + 1 + 4 * v.dims.len() + 8;
+            n += v.data.len() * v.data.dtype().size();
+        }
+        n as u64
+    }
+
+    /// Serialize to bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_size() as usize);
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(VERSION);
+        buf.put_u16_le(0);
+        buf.put_u32_le(self.dims.len() as u32);
+        for (name, size) in &self.dims {
+            put_name(&mut buf, name);
+            buf.put_u64_le(*size);
+        }
+        buf.put_u32_le(self.attrs.len() as u32);
+        for (name, value) in &self.attrs {
+            put_name(&mut buf, name);
+            put_name(&mut buf, value);
+        }
+        buf.put_u32_le(self.vars.len() as u32);
+        for v in &self.vars {
+            put_name(&mut buf, &v.name);
+            buf.put_u8(v.data.dtype().code());
+            buf.put_u8(v.dims.len() as u8);
+            for &d in &v.dims {
+                buf.put_u32_le(d as u32);
+            }
+            buf.put_u64_le(v.data.len() as u64);
+            match &v.data {
+                VarData::F32(xs) => xs.iter().for_each(|x| buf.put_f32_le(*x)),
+                VarData::F64(xs) => xs.iter().for_each(|x| buf.put_f64_le(*x)),
+                VarData::I32(xs) => xs.iter().for_each(|x| buf.put_i32_le(*x)),
+                VarData::U8(xs) => buf.put_slice(xs),
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Parse from bytes.
+    pub fn decode(mut input: &[u8]) -> Result<NcFile, NcError> {
+        let buf = &mut input;
+        let magic = take(buf, 4)?;
+        if magic != MAGIC {
+            return Err(NcError::BadMagic);
+        }
+        let version = get_u16(buf)?;
+        if version != VERSION {
+            return Err(NcError::BadVersion(version));
+        }
+        let _flags = get_u16(buf)?;
+        let mut file = NcFile::new();
+        let ndims = get_u32(buf)? as usize;
+        for _ in 0..ndims {
+            let name = get_name(buf)?;
+            let size = get_u64(buf)?;
+            file.dims.push((name, size));
+        }
+        let nattrs = get_u32(buf)? as usize;
+        for _ in 0..nattrs {
+            let name = get_name(buf)?;
+            let value = get_name(buf)?;
+            file.attrs.push((name, value));
+        }
+        let nvars = get_u32(buf)? as usize;
+        for _ in 0..nvars {
+            let name = get_name(buf)?;
+            let dtype = DataType::from_code(get_u8(buf)?)?;
+            let nd = get_u8(buf)? as usize;
+            let mut dims = Vec::with_capacity(nd);
+            for _ in 0..nd {
+                let d = get_u32(buf)? as usize;
+                if d >= file.dims.len() {
+                    return Err(NcError::BadDimIndex(d));
+                }
+                dims.push(d);
+            }
+            let count = get_u64(buf)? as usize;
+            let raw = take(buf, count * dtype.size())?;
+            let data = match dtype {
+                DataType::F32 => VarData::F32(
+                    raw.chunks_exact(4)
+                        .map(|c| f32::from_le_bytes(c.try_into().expect("chunk is 4 bytes")))
+                        .collect(),
+                ),
+                DataType::F64 => VarData::F64(
+                    raw.chunks_exact(8)
+                        .map(|c| f64::from_le_bytes(c.try_into().expect("chunk is 8 bytes")))
+                        .collect(),
+                ),
+                DataType::I32 => VarData::I32(
+                    raw.chunks_exact(4)
+                        .map(|c| i32::from_le_bytes(c.try_into().expect("chunk is 4 bytes")))
+                        .collect(),
+                ),
+                DataType::U8 => VarData::U8(raw.to_vec()),
+            };
+            file.vars.push(NcVariable { name, dims, data });
+        }
+        Ok(file)
+    }
+}
+
+fn put_name(buf: &mut BytesMut, s: &str) {
+    assert!(s.len() <= u16::MAX as usize, "name too long");
+    buf.put_u16_le(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], NcError> {
+    if buf.len() < n {
+        return Err(NcError::Truncated);
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Ok(head)
+}
+
+fn get_u8(buf: &mut &[u8]) -> Result<u8, NcError> {
+    if buf.remaining() < 1 {
+        return Err(NcError::Truncated);
+    }
+    Ok(buf.get_u8())
+}
+
+fn get_u16(buf: &mut &[u8]) -> Result<u16, NcError> {
+    if buf.remaining() < 2 {
+        return Err(NcError::Truncated);
+    }
+    Ok(buf.get_u16_le())
+}
+
+fn get_u32(buf: &mut &[u8]) -> Result<u32, NcError> {
+    if buf.remaining() < 4 {
+        return Err(NcError::Truncated);
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn get_u64(buf: &mut &[u8]) -> Result<u64, NcError> {
+    if buf.remaining() < 8 {
+        return Err(NcError::Truncated);
+    }
+    Ok(buf.get_u64_le())
+}
+
+fn get_name(buf: &mut &[u8]) -> Result<String, NcError> {
+    let len = get_u16(buf)? as usize;
+    let raw = take(buf, len)?;
+    String::from_utf8(raw.to_vec()).map_err(|_| NcError::BadName)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_file() -> NcFile {
+        let mut f = NcFile::new();
+        let lat = f.add_dim("lat", 3);
+        let lon = f.add_dim("lon", 4);
+        f.add_attr("title", "okubo-weiss");
+        f.add_attr("units", "1/s^2");
+        let data: Vec<f64> = (0..12).map(|i| i as f64 * 0.5 - 3.0).collect();
+        f.add_var("W", vec![lat, lon], VarData::F64(data)).unwrap();
+        f.add_var("mask", vec![lat, lon], VarData::U8(vec![1; 12]))
+            .unwrap();
+        f
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let f = sample_file();
+        let encoded = f.encode();
+        let decoded = NcFile::decode(&encoded).unwrap();
+        assert_eq!(f, decoded);
+    }
+
+    #[test]
+    fn encoded_size_is_exact() {
+        let f = sample_file();
+        assert_eq!(f.encode().len() as u64, f.encoded_size());
+        let empty = NcFile::new();
+        assert_eq!(empty.encode().len() as u64, empty.encoded_size());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let mut f = NcFile::new();
+        let d = f.add_dim("x", 10);
+        let err = f
+            .add_var("v", vec![d], VarData::F32(vec![0.0; 5]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            NcError::ShapeMismatch {
+                name: "v".into(),
+                expected: 10,
+                actual: 5
+            }
+        );
+    }
+
+    #[test]
+    fn bad_dim_index_rejected() {
+        let mut f = NcFile::new();
+        let err = f
+            .add_var("v", vec![3], VarData::F32(vec![0.0]))
+            .unwrap_err();
+        assert_eq!(err, NcError::BadDimIndex(3));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(NcFile::decode(b"XXXX\x01\x00"), Err(NcError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_detected_everywhere() {
+        let encoded = sample_file().encode();
+        // Chop the file at a few dozen places; every prefix must fail
+        // cleanly, never panic.
+        for cut in (0..encoded.len() - 1).step_by(7) {
+            let r = NcFile::decode(&encoded[..cut]);
+            assert!(r.is_err(), "prefix of {cut} bytes should fail");
+        }
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut raw = sample_file().encode().to_vec();
+        raw[4] = 9; // bump version field
+        assert_eq!(NcFile::decode(&raw), Err(NcError::BadVersion(9)));
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let f = sample_file();
+        assert_eq!(f.attr("title"), Some("okubo-weiss"));
+        assert_eq!(f.attr("missing"), None);
+        assert!(f.var("W").is_some());
+        assert!(f.var("nope").is_none());
+        assert_eq!(f.var("W").unwrap().data.len(), 12);
+    }
+
+    #[test]
+    fn f32_and_i32_roundtrip() {
+        let mut f = NcFile::new();
+        let d = f.add_dim("n", 4);
+        f.add_var(
+            "a",
+            vec![d],
+            VarData::F32(vec![1.5, -2.5, f32::MAX, f32::MIN_POSITIVE]),
+        )
+        .unwrap();
+        f.add_var("b", vec![d], VarData::I32(vec![i32::MIN, -1, 0, i32::MAX]))
+            .unwrap();
+        let back = NcFile::decode(&f.encode()).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn scalar_variable_without_dims() {
+        let mut f = NcFile::new();
+        f.add_var("t", vec![], VarData::F64(vec![42.0])).unwrap();
+        let back = NcFile::decode(&f.encode()).unwrap();
+        assert_eq!(back.var("t").unwrap().data, VarData::F64(vec![42.0]));
+    }
+
+    #[test]
+    fn field_file_size_scales_with_grid() {
+        // A 60 km global grid (~649k cells in MPAS-O). One f64 variable
+        // should dominate the encoded size.
+        let mut f = NcFile::new();
+        let n = 10_000;
+        let d = f.add_dim("cells", n);
+        f.add_var(
+            "W",
+            vec![d],
+            VarData::F64(vec![0.0; n as usize]),
+        )
+        .unwrap();
+        let size = f.encoded_size();
+        assert!(size >= 8 * n && size < 8 * n + 200, "size={size}");
+    }
+}

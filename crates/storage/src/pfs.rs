@@ -1,0 +1,506 @@
+//! The parallel filesystem: namespace, capacity, MDS and OSS queueing.
+//!
+//! Operations are *timed*: every call takes the submission time and returns
+//! the completion time, computed from the MDS FCFS queues and the OSS
+//! processor-sharing bandwidth servers. The PFS also records every data
+//! transfer so a Raritan-style rack meter trace can be reconstructed for any
+//! window ([`ParallelFileSystem::rack_meter`]).
+//!
+//! ### Completion semantics
+//!
+//! [`ParallelFileSystem::write`] and [`ParallelFileSystem::read`] return the
+//! time at which the operation completes **given the traffic submitted so
+//! far**. Under processor sharing a *later* submission would extend earlier
+//! jobs; the coupled pipelines in this workspace always submit I/O in
+//! barrier-synchronized batches (all ranks write, then everyone waits), for
+//! which these semantics are exact. [`ParallelFileSystem::batch_write`] is
+//! the batch form used by the pipeline executors.
+
+use std::collections::HashMap;
+
+use ivis_power::meter::MeteredPdu;
+use ivis_sim::resource::{FairShareServer, FcfsServer};
+use ivis_sim::{SimDuration, SimTime};
+
+use crate::layout::StripeLayout;
+use crate::power::StoragePowerModel;
+
+/// Errors returned by filesystem operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PfsError {
+    /// Not enough free capacity for the write.
+    NoSpace {
+        /// Bytes the operation needed.
+        needed: u64,
+        /// Bytes actually free.
+        free: u64,
+    },
+    /// The path does not exist.
+    NotFound(String),
+    /// The path already exists.
+    AlreadyExists(String),
+}
+
+impl std::fmt::Display for PfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PfsError::NoSpace { needed, free } => {
+                write!(f, "no space: need {needed} B, {free} B free")
+            }
+            PfsError::NotFound(p) => write!(f, "not found: {p}"),
+            PfsError::AlreadyExists(p) => write!(f, "already exists: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for PfsError {}
+
+/// Static configuration of the storage cluster.
+#[derive(Debug, Clone)]
+pub struct PfsConfig {
+    /// Number of object storage servers.
+    pub num_oss: usize,
+    /// Per-OSS bandwidth, bytes/second.
+    pub oss_bandwidth_bps: f64,
+    /// Number of metadata servers.
+    pub num_mds: usize,
+    /// Service time of one metadata operation (create/open).
+    pub mds_op_time: SimDuration,
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Default striping for new files.
+    pub stripe: StripeLayout,
+    /// Rack power model.
+    pub power: StoragePowerModel,
+}
+
+impl PfsConfig {
+    /// The paper's Lustre rack: 2 OSS sharing ≈159 MB/s aggregate (the
+    /// effective rate implied by the calibrated α = 6.3 s/GB), 2 MDS,
+    /// 7.7 TB, 1 MiB striping, and the measured 2273→2302 W power curve.
+    pub fn caddy_lustre() -> Self {
+        // α = 6.3 s/GB ⇒ 1e9 / 6.3 ≈ 158.73 MB/s aggregate.
+        let aggregate_bps = 1e9 / 6.3;
+        PfsConfig {
+            num_oss: 2,
+            oss_bandwidth_bps: aggregate_bps / 2.0,
+            num_mds: 2,
+            mds_op_time: SimDuration::from_millis(1),
+            capacity_bytes: 7_700_000_000_000,
+            stripe: StripeLayout::lustre_default(2),
+            power: StoragePowerModel::paper_lustre_rack(),
+        }
+    }
+
+    /// Aggregate bandwidth across all OSS.
+    pub fn aggregate_bandwidth_bps(&self) -> f64 {
+        self.oss_bandwidth_bps * self.num_oss as f64
+    }
+}
+
+#[derive(Debug, Clone)]
+struct FileMeta {
+    size: u64,
+    created_at: SimTime,
+}
+
+/// One recorded data transfer (for power reconstruction).
+#[derive(Debug, Clone, Copy)]
+struct Transfer {
+    start: SimTime,
+    end: SimTime,
+}
+
+/// The simulated parallel filesystem.
+#[derive(Debug, Clone)]
+pub struct ParallelFileSystem {
+    config: PfsConfig,
+    oss: Vec<FairShareServer>,
+    mds: Vec<FcfsServer>,
+    files: HashMap<String, FileMeta>,
+    used: u64,
+    transfers: Vec<Transfer>,
+    bytes_written: u64,
+    bytes_read: u64,
+}
+
+impl ParallelFileSystem {
+    /// Create a filesystem from a configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration has zero servers or bandwidth.
+    pub fn new(config: PfsConfig) -> Self {
+        assert!(config.num_oss > 0, "need at least one OSS");
+        assert!(config.num_mds > 0, "need at least one MDS");
+        let oss = (0..config.num_oss)
+            .map(|_| FairShareServer::new(config.oss_bandwidth_bps))
+            .collect();
+        let mds = (0..config.num_mds).map(|_| FcfsServer::new()).collect();
+        ParallelFileSystem {
+            config,
+            oss,
+            mds,
+            files: HashMap::new(),
+            used: 0,
+            transfers: Vec::new(),
+            bytes_written: 0,
+            bytes_read: 0,
+        }
+    }
+
+    /// The paper's rack, ready to use.
+    pub fn caddy_lustre() -> Self {
+        ParallelFileSystem::new(PfsConfig::caddy_lustre())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PfsConfig {
+        &self.config
+    }
+
+    /// Bytes currently stored.
+    pub fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes still free.
+    pub fn free_bytes(&self) -> u64 {
+        self.config.capacity_bytes - self.used
+    }
+
+    /// Total bytes ever written / read (traffic counters).
+    pub fn traffic(&self) -> (u64, u64) {
+        (self.bytes_written, self.bytes_read)
+    }
+
+    /// Number of files present.
+    pub fn num_files(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether `path` exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    /// Size of `path` in bytes.
+    pub fn size_of(&self, path: &str) -> Result<u64, PfsError> {
+        self.files
+            .get(path)
+            .map(|m| m.size)
+            .ok_or_else(|| PfsError::NotFound(path.to_string()))
+    }
+
+    fn mds_for(&self, path: &str) -> usize {
+        // Stable cheap hash (FNV-1a) to pick an MDS.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        (h % self.config.num_mds as u64) as usize
+    }
+
+    /// Create an empty file. Returns the completion time of the metadata
+    /// operation.
+    pub fn create(&mut self, now: SimTime, path: &str) -> Result<SimTime, PfsError> {
+        if self.files.contains_key(path) {
+            return Err(PfsError::AlreadyExists(path.to_string()));
+        }
+        let mds = self.mds_for(path);
+        let (_, done) = self.mds[mds].submit(now, self.config.mds_op_time);
+        self.files.insert(
+            path.to_string(),
+            FileMeta {
+                size: 0,
+                created_at: now,
+            },
+        );
+        Ok(done)
+    }
+
+    /// Append `bytes` to `path` (creating it if absent), returning the time
+    /// the data is durable on the OSTs.
+    pub fn write(&mut self, now: SimTime, path: &str, bytes: u64) -> Result<SimTime, PfsError> {
+        let free = self.free_bytes();
+        if bytes > free {
+            return Err(PfsError::NoSpace {
+                needed: bytes,
+                free,
+            });
+        }
+        let mds_done = if self.files.contains_key(path) {
+            now
+        } else {
+            self.create(now, path)?
+        };
+        let meta = self.files.get_mut(path).expect("file just ensured");
+        let offset = meta.size;
+        meta.size += bytes;
+        self.used += bytes;
+        self.bytes_written += bytes;
+        if bytes == 0 {
+            return Ok(mds_done);
+        }
+        let per_ost = self.config.stripe.distribute(offset, bytes);
+        let mut done = mds_done;
+        for (ost, &b) in per_ost.iter().enumerate() {
+            if b == 0 {
+                continue;
+            }
+            self.oss[ost].submit(mds_done, b as f64);
+            done = done.max(self.oss[ost].drained_at());
+        }
+        self.transfers.push(Transfer {
+            start: mds_done,
+            end: done,
+        });
+        Ok(done)
+    }
+
+    /// Read the whole of `path`, returning the completion time.
+    pub fn read(&mut self, now: SimTime, path: &str) -> Result<SimTime, PfsError> {
+        let size = self.size_of(path)?;
+        self.bytes_read += size;
+        if size == 0 {
+            return Ok(now);
+        }
+        let per_ost = self.config.stripe.distribute(0, size);
+        let mut done = now;
+        for (ost, &b) in per_ost.iter().enumerate() {
+            if b == 0 {
+                continue;
+            }
+            self.oss[ost].submit(now, b as f64);
+            done = done.max(self.oss[ost].drained_at());
+        }
+        self.transfers.push(Transfer {
+            start: now,
+            end: done,
+        });
+        Ok(done)
+    }
+
+    /// Submit many writes at once and return the barrier completion time
+    /// (when *all* of them are durable). This is how the PIO-style
+    /// collective output path uses the rack.
+    pub fn batch_write(
+        &mut self,
+        now: SimTime,
+        writes: &[(String, u64)],
+    ) -> Result<SimTime, PfsError> {
+        let total: u64 = writes.iter().map(|w| w.1).sum();
+        let free = self.free_bytes();
+        if total > free {
+            return Err(PfsError::NoSpace {
+                needed: total,
+                free,
+            });
+        }
+        let mut done = now;
+        for (path, bytes) in writes {
+            done = done.max(self.write(now, path, *bytes)?);
+        }
+        Ok(done)
+    }
+
+    /// Delete a file, freeing its space. Metadata-only cost.
+    pub fn delete(&mut self, now: SimTime, path: &str) -> Result<SimTime, PfsError> {
+        let meta = self
+            .files
+            .remove(path)
+            .ok_or_else(|| PfsError::NotFound(path.to_string()))?;
+        self.used -= meta.size;
+        let mds = self.mds_for(path);
+        let (_, done) = self.mds[mds].submit(now, self.config.mds_op_time);
+        Ok(done)
+    }
+
+    /// Age of a file (time since creation).
+    pub fn age_of(&self, now: SimTime, path: &str) -> Result<SimDuration, PfsError> {
+        self.files
+            .get(path)
+            .map(|m| now - m.created_at)
+            .ok_or_else(|| PfsError::NotFound(path.to_string()))
+    }
+
+    /// Reconstruct the rack's power meter: full-load power while any
+    /// transfer is in flight, idle power otherwise, averaged per minute
+    /// exactly like the Raritan PDU (apply a window via
+    /// [`MeteredPdu::report`]).
+    pub fn rack_meter(&self) -> MeteredPdu {
+        let mut meter = MeteredPdu::raritan_rack("lustre-rack", self.config.power.idle());
+        // Sweep the union of transfer intervals.
+        let mut events: Vec<(SimTime, i32)> = Vec::with_capacity(self.transfers.len() * 2);
+        for tr in &self.transfers {
+            events.push((tr.start, 1));
+            events.push((tr.end, -1));
+        }
+        events.sort_by_key(|e| (e.0, -e.1));
+        let mut depth = 0;
+        for (t, delta) in events {
+            let was_busy = depth > 0;
+            depth += delta;
+            let is_busy = depth > 0;
+            if was_busy != is_busy {
+                let u = if is_busy { 1.0 } else { 0.0 };
+                meter.observe(t, self.config.power.power(u));
+            }
+        }
+        meter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivis_power::units::Watts;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn test_config() -> PfsConfig {
+        PfsConfig {
+            num_oss: 2,
+            oss_bandwidth_bps: 50.0, // 100 B/s aggregate: easy arithmetic
+            num_mds: 2,
+            mds_op_time: SimDuration::ZERO,
+            capacity_bytes: 10_000,
+            stripe: StripeLayout::new(10, 2),
+            power: StoragePowerModel::paper_lustre_rack(),
+        }
+    }
+
+    #[test]
+    fn write_time_matches_bandwidth() {
+        let mut fs = ParallelFileSystem::new(test_config());
+        // 1000 B striped evenly over 2 OSS at 50 B/s each => 10 s.
+        let done = fs.write(SimTime::ZERO, "/a", 1000).unwrap();
+        assert_eq!(done, t(10));
+        assert_eq!(fs.used_bytes(), 1000);
+        assert_eq!(fs.size_of("/a").unwrap(), 1000);
+    }
+
+    #[test]
+    fn caddy_write_matches_alpha() {
+        let mut fs = ParallelFileSystem::caddy_lustre();
+        // 1 GB should take ~6.3 s (the calibrated α) plus 1 ms MDS time.
+        let done = fs.write(SimTime::ZERO, "/out.nc", 1_000_000_000).unwrap();
+        let secs = done.as_secs_f64();
+        assert!((secs - 6.301).abs() < 0.01, "1 GB write took {secs}");
+    }
+
+    #[test]
+    fn no_space_is_reported_not_partially_applied() {
+        let mut fs = ParallelFileSystem::new(test_config());
+        fs.write(SimTime::ZERO, "/a", 9_000).unwrap();
+        let err = fs.write(t(100), "/b", 2_000).unwrap_err();
+        assert_eq!(
+            err,
+            PfsError::NoSpace {
+                needed: 2_000,
+                free: 1_000
+            }
+        );
+        assert_eq!(fs.used_bytes(), 9_000);
+        assert!(!fs.exists("/b"));
+    }
+
+    #[test]
+    fn create_then_duplicate_create_fails() {
+        let mut fs = ParallelFileSystem::new(test_config());
+        fs.create(SimTime::ZERO, "/x").unwrap();
+        assert!(matches!(
+            fs.create(t(1), "/x"),
+            Err(PfsError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn read_missing_file_fails() {
+        let mut fs = ParallelFileSystem::new(test_config());
+        assert!(matches!(fs.read(t(0), "/nope"), Err(PfsError::NotFound(_))));
+    }
+
+    #[test]
+    fn read_takes_symmetric_time() {
+        let mut fs = ParallelFileSystem::new(test_config());
+        let wrote = fs.write(SimTime::ZERO, "/a", 1000).unwrap();
+        let read_done = fs.read(wrote, "/a").unwrap();
+        assert_eq!(read_done - wrote, SimDuration::from_secs(10));
+        assert_eq!(fs.traffic(), (1000, 1000));
+    }
+
+    #[test]
+    fn batch_write_barrier_semantics() {
+        let mut fs = ParallelFileSystem::new(test_config());
+        // Two 500-B files concurrently: 1000 B total over 100 B/s => 10 s.
+        let writes = vec![("/r0".to_string(), 500), ("/r1".to_string(), 500)];
+        let done = fs.batch_write(SimTime::ZERO, &writes).unwrap();
+        assert_eq!(done, t(10));
+        assert_eq!(fs.num_files(), 2);
+    }
+
+    #[test]
+    fn batch_write_checks_total_size_upfront() {
+        let mut fs = ParallelFileSystem::new(test_config());
+        let writes = vec![("/r0".to_string(), 6_000), ("/r1".to_string(), 6_000)];
+        assert!(matches!(
+            fs.batch_write(SimTime::ZERO, &writes),
+            Err(PfsError::NoSpace { .. })
+        ));
+        assert_eq!(fs.used_bytes(), 0, "failed batch must not consume space");
+    }
+
+    #[test]
+    fn delete_frees_space() {
+        let mut fs = ParallelFileSystem::new(test_config());
+        fs.write(SimTime::ZERO, "/a", 4_000).unwrap();
+        fs.delete(t(100), "/a").unwrap();
+        assert_eq!(fs.used_bytes(), 0);
+        assert!(!fs.exists("/a"));
+        assert!(matches!(fs.delete(t(101), "/a"), Err(PfsError::NotFound(_))));
+    }
+
+    #[test]
+    fn mds_latency_delays_first_byte() {
+        let mut cfg = test_config();
+        cfg.mds_op_time = SimDuration::from_secs(1);
+        let mut fs = ParallelFileSystem::new(cfg);
+        let done = fs.write(SimTime::ZERO, "/a", 1000).unwrap();
+        assert_eq!(done, t(11)); // 1 s create + 10 s data
+    }
+
+    #[test]
+    fn rack_meter_shows_flat_power() {
+        let mut fs = ParallelFileSystem::new(test_config());
+        let _done = fs.write(SimTime::ZERO, "/a", 6_000).unwrap(); // 60 s busy
+        let meter = fs.rack_meter();
+        let samples = meter.report(SimTime::ZERO, t(120));
+        assert_eq!(samples.len(), 2);
+        // Busy minute: 2302 W; idle minute: 2273 W.
+        assert!((samples[0].avg.watts() - 2302.0).abs() < 1e-6);
+        assert!((samples[1].avg.watts() - 2273.0).abs() < 1e-6);
+        // Dynamic range stays tiny — the paper's point.
+        let range = samples[0].avg - samples[1].avg;
+        assert!(range < Watts(30.0));
+    }
+
+    #[test]
+    fn overlapping_transfers_share_bandwidth() {
+        let mut fs = ParallelFileSystem::new(test_config());
+        // Two 1000-B writes submitted together: 2000 B at 100 B/s => 20 s.
+        let d1 = fs.write(SimTime::ZERO, "/a", 1000).unwrap();
+        let d2 = fs.write(SimTime::ZERO, "/b", 1000).unwrap();
+        assert_eq!(d1.max(d2), t(20));
+    }
+
+    #[test]
+    fn zero_byte_write_is_metadata_only() {
+        let mut fs = ParallelFileSystem::new(test_config());
+        let done = fs.write(t(5), "/empty", 0).unwrap();
+        assert_eq!(done, t(5));
+        assert_eq!(fs.size_of("/empty").unwrap(), 0);
+    }
+}

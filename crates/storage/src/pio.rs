@@ -1,0 +1,224 @@
+//! A PIO-like collective writer.
+//!
+//! The paper's post-processing pipeline writes netCDF through PIO, which
+//! rearranges data from all compute ranks onto a small set of **aggregator
+//! ranks** that issue the actual filesystem writes. This module models that
+//! two-stage path: a gather stage (bounded by the aggregation network
+//! funnel) followed by a striped batch write to the
+//! [`ParallelFileSystem`].
+
+use ivis_sim::{SimDuration, SimTime};
+
+use crate::pfs::{ParallelFileSystem, PfsError};
+
+/// Configuration of the collective output path.
+#[derive(Debug, Clone)]
+pub struct PioConfig {
+    /// Number of aggregator ranks issuing filesystem writes.
+    pub num_aggregators: usize,
+    /// Bandwidth of the funnel into each aggregator, bytes/second
+    /// (interconnect-limited, far above the filesystem rate in practice).
+    pub aggregator_bandwidth_bps: f64,
+}
+
+impl PioConfig {
+    /// PIO defaults on the paper's system: 4 aggregators fed at IB QDR rate.
+    pub fn caddy_default() -> Self {
+        PioConfig {
+            num_aggregators: 4,
+            aggregator_bandwidth_bps: 3.2e9,
+        }
+    }
+}
+
+/// Outcome of one collective write.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PioWriteReport {
+    /// When the gather (rank → aggregator rearrangement) finished.
+    pub gather_done: SimTime,
+    /// When the data was durable on the filesystem.
+    pub write_done: SimTime,
+    /// Total bytes written.
+    pub bytes: u64,
+}
+
+impl PioWriteReport {
+    /// Total wall time from submission to durability.
+    pub fn total_time(&self, submitted: SimTime) -> SimDuration {
+        self.write_done - submitted
+    }
+}
+
+/// The collective writer.
+#[derive(Debug, Clone)]
+pub struct CollectiveWriter {
+    config: PioConfig,
+}
+
+impl CollectiveWriter {
+    /// Create a writer.
+    ///
+    /// # Panics
+    /// Panics if the configuration is degenerate.
+    pub fn new(config: PioConfig) -> Self {
+        assert!(config.num_aggregators > 0, "need at least one aggregator");
+        assert!(
+            config.aggregator_bandwidth_bps > 0.0,
+            "aggregator bandwidth must be positive"
+        );
+        CollectiveWriter { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PioConfig {
+        &self.config
+    }
+
+    /// Collectively write `rank_bytes[i]` bytes from rank `i` into `path` on
+    /// `fs`, starting at `now`.
+    ///
+    /// The ranks' data is distributed round-robin over the aggregators; the
+    /// gather finishes when the most-loaded aggregator has received its
+    /// share, after which aggregators issue one striped write each.
+    pub fn write(
+        &self,
+        fs: &mut ParallelFileSystem,
+        now: SimTime,
+        path: &str,
+        rank_bytes: &[u64],
+    ) -> Result<PioWriteReport, PfsError> {
+        let total: u64 = rank_bytes.iter().sum();
+        if total == 0 {
+            let done = fs.write(now, path, 0)?;
+            return Ok(PioWriteReport {
+                gather_done: now,
+                write_done: done,
+                bytes: 0,
+            });
+        }
+        // Round-robin rank → aggregator assignment.
+        let mut per_agg = vec![0u64; self.config.num_aggregators];
+        for (i, &b) in rank_bytes.iter().enumerate() {
+            per_agg[i % self.config.num_aggregators] += b;
+        }
+        let max_agg = *per_agg.iter().max().expect("non-empty aggregators");
+        let gather = SimDuration::from_secs_f64(
+            max_agg as f64 / self.config.aggregator_bandwidth_bps,
+        );
+        let gather_done = now + gather;
+        // Aggregators write their shares into the shared file concurrently;
+        // with processor sharing the barrier completion equals one combined
+        // write of the total size.
+        let write_done = fs.write(gather_done, path, total)?;
+        Ok(PioWriteReport {
+            gather_done,
+            write_done,
+            bytes: total,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::StripeLayout;
+    use crate::pfs::PfsConfig;
+    use crate::power::StoragePowerModel;
+
+    fn fast_gather_fs() -> ParallelFileSystem {
+        ParallelFileSystem::new(PfsConfig {
+            num_oss: 2,
+            oss_bandwidth_bps: 50.0,
+            num_mds: 1,
+            mds_op_time: SimDuration::ZERO,
+            capacity_bytes: 1_000_000,
+            stripe: StripeLayout::new(10, 2),
+            power: StoragePowerModel::paper_lustre_rack(),
+        })
+    }
+
+    #[test]
+    fn gather_then_write() {
+        let mut fs = fast_gather_fs();
+        let writer = CollectiveWriter::new(PioConfig {
+            num_aggregators: 2,
+            aggregator_bandwidth_bps: 100.0,
+        });
+        // 4 ranks × 100 B: aggregators receive 200 B each at 100 B/s ⇒ 2 s
+        // gather; 400 B written at 100 B/s aggregate ⇒ 4 s write.
+        let report = writer
+            .write(&mut fs, SimTime::ZERO, "/out", &[100, 100, 100, 100])
+            .unwrap();
+        assert_eq!(report.gather_done, SimTime::from_secs(2));
+        assert_eq!(report.write_done, SimTime::from_secs(6));
+        assert_eq!(report.bytes, 400);
+        assert_eq!(
+            report.total_time(SimTime::ZERO),
+            SimDuration::from_secs(6)
+        );
+        assert_eq!(fs.size_of("/out").unwrap(), 400);
+    }
+
+    #[test]
+    fn fast_network_makes_fs_the_bottleneck() {
+        let mut fs = fast_gather_fs();
+        let writer = CollectiveWriter::new(PioConfig {
+            num_aggregators: 4,
+            aggregator_bandwidth_bps: 1e12,
+        });
+        let report = writer
+            .write(&mut fs, SimTime::ZERO, "/out", &[250; 4])
+            .unwrap();
+        // Gather is instantaneous at this rate; write dominates: 1000 B at
+        // 100 B/s = 10 s.
+        assert!(report.gather_done.as_secs_f64() < 1e-6);
+        assert_eq!(report.write_done, SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn uneven_ranks_bound_by_most_loaded_aggregator() {
+        let mut fs = fast_gather_fs();
+        let writer = CollectiveWriter::new(PioConfig {
+            num_aggregators: 2,
+            aggregator_bandwidth_bps: 100.0,
+        });
+        // Ranks 0,2 → agg0 (600 B); rank 1 → agg1 (100 B). Gather = 6 s.
+        let report = writer
+            .write(&mut fs, SimTime::ZERO, "/out", &[300, 100, 300])
+            .unwrap();
+        assert_eq!(report.gather_done, SimTime::from_secs(6));
+    }
+
+    #[test]
+    fn zero_total_is_metadata_only() {
+        let mut fs = fast_gather_fs();
+        let writer = CollectiveWriter::new(PioConfig::caddy_default());
+        let report = writer
+            .write(&mut fs, SimTime::from_secs(3), "/empty", &[0, 0])
+            .unwrap();
+        assert_eq!(report.bytes, 0);
+        assert_eq!(report.write_done, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn no_space_propagates() {
+        let mut fs = fast_gather_fs();
+        let writer = CollectiveWriter::new(PioConfig {
+            num_aggregators: 1,
+            aggregator_bandwidth_bps: 1e9,
+        });
+        let err = writer
+            .write(&mut fs, SimTime::ZERO, "/big", &[2_000_000])
+            .unwrap_err();
+        assert!(matches!(err, PfsError::NoSpace { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one aggregator")]
+    fn zero_aggregators_rejected() {
+        let _ = CollectiveWriter::new(PioConfig {
+            num_aggregators: 0,
+            aggregator_bandwidth_bps: 1.0,
+        });
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests of the parallel-filesystem model: random operation
+//! sequences must preserve the accounting invariants no matter how they
+//! interleave.
+
+use ivis_sim::{SimDuration, SimTime};
+use ivis_storage::layout::StripeLayout;
+use ivis_storage::pfs::{ParallelFileSystem, PfsConfig, PfsError};
+use ivis_storage::StoragePowerModel;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { file: u8, bytes: u32 },
+    Read { file: u8 },
+    Delete { file: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..8, 1u32..200_000).prop_map(|(file, bytes)| Op::Write { file, bytes }),
+        (0u8..8).prop_map(|file| Op::Read { file }),
+        (0u8..8).prop_map(|file| Op::Delete { file }),
+    ]
+}
+
+fn small_fs() -> ParallelFileSystem {
+    ParallelFileSystem::new(PfsConfig {
+        num_oss: 2,
+        oss_bandwidth_bps: 1.0e6,
+        num_mds: 2,
+        mds_op_time: SimDuration::from_millis(1),
+        capacity_bytes: 1_000_000, // 1 MB so NoSpace paths get exercised
+        stripe: StripeLayout::new(4_096, 2),
+        power: StoragePowerModel::paper_lustre_rack(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn accounting_invariants_hold_under_random_ops(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let mut fs = small_fs();
+        let mut now = SimTime::ZERO;
+        // Shadow model: file -> size.
+        let mut shadow: std::collections::HashMap<u8, u64> = std::collections::HashMap::new();
+        for (i, op) in ops.iter().enumerate() {
+            now += SimDuration::from_millis(i as u64 + 1);
+            match op {
+                Op::Write { file, bytes } => {
+                    let path = format!("/f{file}");
+                    match fs.write(now, &path, *bytes as u64) {
+                        Ok(done) => {
+                            prop_assert!(done >= now, "completion before submission");
+                            *shadow.entry(*file).or_insert(0) += *bytes as u64;
+                            now = done;
+                        }
+                        Err(PfsError::NoSpace { needed, free }) => {
+                            prop_assert_eq!(needed, *bytes as u64);
+                            prop_assert!(free < *bytes as u64);
+                        }
+                        Err(e) => prop_assert!(false, "unexpected error {e}"),
+                    }
+                }
+                Op::Read { file } => {
+                    let path = format!("/f{file}");
+                    match fs.read(now, &path) {
+                        Ok(done) => {
+                            prop_assert!(shadow.contains_key(file));
+                            prop_assert!(done >= now);
+                            now = done;
+                        }
+                        Err(PfsError::NotFound(_)) => {
+                            prop_assert!(!shadow.contains_key(file));
+                        }
+                        Err(e) => prop_assert!(false, "unexpected error {e}"),
+                    }
+                }
+                Op::Delete { file } => {
+                    let path = format!("/f{file}");
+                    match fs.delete(now, &path) {
+                        Ok(_) => {
+                            prop_assert!(shadow.remove(file).is_some());
+                        }
+                        Err(PfsError::NotFound(_)) => {
+                            prop_assert!(!shadow.contains_key(file));
+                        }
+                        Err(e) => prop_assert!(false, "unexpected error {e}"),
+                    }
+                }
+            }
+            // Core invariants after every operation.
+            let expected_used: u64 = shadow.values().sum();
+            prop_assert_eq!(fs.used_bytes(), expected_used);
+            prop_assert_eq!(fs.num_files(), shadow.len());
+            prop_assert!(fs.used_bytes() <= fs.config().capacity_bytes);
+            prop_assert_eq!(
+                fs.free_bytes(),
+                fs.config().capacity_bytes - expected_used
+            );
+        }
+        // Per-file sizes match the shadow model at the end.
+        for (file, size) in &shadow {
+            prop_assert_eq!(fs.size_of(&format!("/f{file}")).unwrap(), *size);
+        }
+    }
+
+    #[test]
+    fn rack_meter_power_always_within_band(ops in prop::collection::vec((1u32..500_000, 1u64..100), 1..30)) {
+        let mut fs = small_fs();
+        let mut now = SimTime::ZERO;
+        for (i, (bytes, gap)) in ops.iter().enumerate() {
+            now += SimDuration::from_millis(*gap);
+            if let Ok(done) = fs.write(now, &format!("/w{i}"), *bytes as u64) {
+                now = done;
+            }
+        }
+        let meter = fs.rack_meter();
+        for s in meter.report(SimTime::ZERO, now + SimDuration::from_mins(2)) {
+            prop_assert!(
+                s.avg.watts() >= 2273.0 - 1e-9 && s.avg.watts() <= 2302.0 + 1e-9,
+                "rack power {} outside its physical band",
+                s.avg
+            );
+        }
+    }
+
+    #[test]
+    fn write_time_matches_striping_exactly(bytes in 10_000u64..500_000) {
+        // The completion time is governed by the most-loaded OST under the
+        // configured striping (plus the 1 ms MDS term) — check it exactly,
+        // including the stripe-granularity imbalance.
+        let mut fs = small_fs();
+        let done = fs.write(SimTime::ZERO, "/a", bytes).unwrap();
+        let per_ost = StripeLayout::new(4_096, 2).distribute(0, bytes);
+        let max_ost = *per_ost.iter().max().unwrap() as f64;
+        let expected = 0.001 + max_ost / 1.0e6;
+        prop_assert!(
+            (done.as_secs_f64() - expected).abs() < 1e-5,
+            "done {} vs expected {expected}",
+            done.as_secs_f64()
+        );
+    }
+}

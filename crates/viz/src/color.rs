@@ -1,0 +1,178 @@
+//! Colors and colormaps.
+//!
+//! The paper's Fig. 2 renders the Okubo-Weiss field with green for
+//! rotation-dominated regions (`W < 0`, eddy cores) and blue for
+//! shear/strain-dominated regions (`W > 0`). [`Colormap::OkuboWeiss`]
+//! reproduces that diverging palette; [`Colormap::Viridis`] is a standard
+//! perceptually-uniform sequential map for other fields (SSH, speed).
+
+/// An 8-bit RGB color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Rgb {
+    /// Red channel.
+    pub r: u8,
+    /// Green channel.
+    pub g: u8,
+    /// Blue channel.
+    pub b: u8,
+}
+
+impl Rgb {
+    /// Construct from channels.
+    pub const fn new(r: u8, g: u8, b: u8) -> Self {
+        Rgb { r, g, b }
+    }
+
+    /// Black.
+    pub const BLACK: Rgb = Rgb::new(0, 0, 0);
+    /// White.
+    pub const WHITE: Rgb = Rgb::new(255, 255, 255);
+
+    /// Linear interpolation between two colors, `t ∈ [0, 1]`.
+    pub fn lerp(a: Rgb, b: Rgb, t: f64) -> Rgb {
+        let t = t.clamp(0.0, 1.0);
+        let mix = |x: u8, y: u8| -> u8 { (x as f64 + (y as f64 - x as f64) * t).round() as u8 };
+        Rgb::new(mix(a.r, b.r), mix(a.g, b.g), mix(a.b, b.b))
+    }
+}
+
+/// A colormap: maps a normalized value in `[0, 1]` to a color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Colormap {
+    /// The paper's Okubo-Weiss palette: deep green (0.0, rotation) through
+    /// near-white (0.5, neutral) to deep blue (1.0, shear).
+    OkuboWeiss,
+    /// A viridis-like sequential map (dark purple → teal → yellow).
+    Viridis,
+    /// Simple grayscale.
+    Gray,
+}
+
+impl Colormap {
+    /// Sample the map at `t ∈ [0, 1]` (clamped; NaN maps to 0).
+    pub fn sample(&self, t: f64) -> Rgb {
+        let t = if t.is_nan() { 0.0 } else { t.clamp(0.0, 1.0) };
+        match self {
+            Colormap::Gray => {
+                let v = (t * 255.0).round() as u8;
+                Rgb::new(v, v, v)
+            }
+            Colormap::OkuboWeiss => piecewise(
+                &[
+                    (0.0, Rgb::new(0, 97, 52)),     // deep green: strong rotation
+                    (0.35, Rgb::new(110, 199, 133)),
+                    (0.5, Rgb::new(242, 244, 238)), // neutral
+                    (0.65, Rgb::new(120, 170, 221)),
+                    (1.0, Rgb::new(17, 60, 133)),   // deep blue: strong shear
+                ],
+                t,
+            ),
+            Colormap::Viridis => piecewise(
+                &[
+                    (0.0, Rgb::new(68, 1, 84)),
+                    (0.25, Rgb::new(59, 82, 139)),
+                    (0.5, Rgb::new(33, 145, 140)),
+                    (0.75, Rgb::new(94, 201, 98)),
+                    (1.0, Rgb::new(253, 231, 37)),
+                ],
+                t,
+            ),
+        }
+    }
+
+    /// Map a raw value into the palette given a `(lo, hi)` range.
+    ///
+    /// # Panics
+    /// Panics if `hi <= lo`.
+    pub fn map(&self, value: f64, lo: f64, hi: f64) -> Rgb {
+        assert!(hi > lo, "colormap range must have hi > lo");
+        self.sample((value - lo) / (hi - lo))
+    }
+}
+
+fn piecewise(stops: &[(f64, Rgb)], t: f64) -> Rgb {
+    debug_assert!(stops.len() >= 2);
+    if t <= stops[0].0 {
+        return stops[0].1;
+    }
+    for w in stops.windows(2) {
+        let (t0, c0) = w[0];
+        let (t1, c1) = w[1];
+        if t <= t1 {
+            return Rgb::lerp(c0, c1, (t - t0) / (t1 - t0));
+        }
+    }
+    stops[stops.len() - 1].1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Rgb::new(0, 0, 0);
+        let b = Rgb::new(200, 100, 50);
+        assert_eq!(Rgb::lerp(a, b, 0.0), a);
+        assert_eq!(Rgb::lerp(a, b, 1.0), b);
+        assert_eq!(Rgb::lerp(a, b, 0.5), Rgb::new(100, 50, 25));
+        // Clamped outside [0,1].
+        assert_eq!(Rgb::lerp(a, b, 2.0), b);
+    }
+
+    #[test]
+    fn okubo_weiss_palette_semantics() {
+        // Rotation end (t=0) must be green-dominated; shear end blue-dominated.
+        let rot = Colormap::OkuboWeiss.sample(0.0);
+        assert!(rot.g > rot.r && rot.g > rot.b, "rotation end not green: {rot:?}");
+        let shear = Colormap::OkuboWeiss.sample(1.0);
+        assert!(
+            shear.b > shear.r && shear.b > shear.g,
+            "shear end not blue: {shear:?}"
+        );
+        // Neutral middle is light.
+        let mid = Colormap::OkuboWeiss.sample(0.5);
+        assert!(mid.r > 200 && mid.g > 200 && mid.b > 200);
+    }
+
+    #[test]
+    fn gray_is_linear() {
+        assert_eq!(Colormap::Gray.sample(0.0), Rgb::BLACK);
+        assert_eq!(Colormap::Gray.sample(1.0), Rgb::WHITE);
+        assert_eq!(Colormap::Gray.sample(0.5), Rgb::new(128, 128, 128));
+    }
+
+    #[test]
+    fn nan_and_out_of_range_clamped() {
+        let cm = Colormap::Viridis;
+        assert_eq!(cm.sample(f64::NAN), cm.sample(0.0));
+        assert_eq!(cm.sample(-5.0), cm.sample(0.0));
+        assert_eq!(cm.sample(5.0), cm.sample(1.0));
+    }
+
+    #[test]
+    fn map_applies_range() {
+        let cm = Colormap::Gray;
+        assert_eq!(cm.map(-1.0, -1.0, 1.0), Rgb::BLACK);
+        assert_eq!(cm.map(1.0, -1.0, 1.0), Rgb::WHITE);
+        assert_eq!(cm.map(0.0, -1.0, 1.0), Rgb::new(128, 128, 128));
+    }
+
+    #[test]
+    fn viridis_is_monotone_in_luma() {
+        // Approximate luma must increase monotonically along viridis.
+        let luma = |c: Rgb| 0.2126 * c.r as f64 + 0.7152 * c.g as f64 + 0.0722 * c.b as f64;
+        let mut prev = -1.0;
+        for i in 0..=20 {
+            let l = luma(Colormap::Viridis.sample(i as f64 / 20.0));
+            assert!(l >= prev - 1.0, "viridis luma dipped at {i}");
+            prev = l;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "hi > lo")]
+    fn bad_range_rejected() {
+        let _ = Colormap::Gray.map(0.0, 1.0, 1.0);
+    }
+}

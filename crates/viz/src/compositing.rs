@@ -1,0 +1,150 @@
+//! Rank-parallel rendering and image compositing.
+//!
+//! In the real in-situ pipeline every MPI rank renders the part of the image
+//! covered by its domain slab and the slabs are composited into the final
+//! frame. We reproduce that structure with rayon: the image rows are
+//! partitioned into `nranks` bands, rendered independently, and stitched —
+//! bit-identical to a serial render, which the tests assert.
+
+use ivis_ocean::decomposition::decompose_rows;
+use ivis_ocean::Field2D;
+use rayon::prelude::*;
+
+use crate::color::{Colormap, Rgb};
+use crate::raster::ImageBuffer;
+
+/// One rank's rendered band.
+#[derive(Debug, Clone)]
+pub struct RenderedBand {
+    /// First image row of the band.
+    pub row_start: usize,
+    /// Pixels, row-major, `width × rows`.
+    pub pixels: Vec<Rgb>,
+}
+
+/// Render `field` into a `width × height` image using `nranks` independent
+/// band renderers, then composite. Produces exactly the same pixels as
+/// [`crate::raster::rasterize`].
+pub fn render_distributed(
+    field: &Field2D,
+    width: usize,
+    height: usize,
+    nranks: usize,
+    colormap: Colormap,
+    lo: f64,
+    hi: f64,
+) -> ImageBuffer {
+    assert!(nranks > 0 && nranks <= height, "invalid rank count");
+    let bands: Vec<RenderedBand> = decompose_rows(height, nranks)
+        .par_iter()
+        .map(|slab| {
+            let mut pixels = Vec::with_capacity(width * slab.rows());
+            let (nx, ny) = (field.nx() as f64, field.ny() as f64);
+            for y in slab.row_start..slab.row_end {
+                let fy = (1.0 - (y as f64 + 0.5) / height as f64) * ny - 0.5;
+                for x in 0..width {
+                    let fx = (x as f64 + 0.5) / width as f64 * nx - 0.5;
+                    let v = crate::raster::sample_bilinear(field, fx, fy);
+                    pixels.push(colormap.map(v, lo, hi));
+                }
+            }
+            RenderedBand {
+                row_start: slab.row_start,
+                pixels,
+            }
+        })
+        .collect();
+    composite_bands(width, height, &bands)
+}
+
+/// Stitch non-overlapping bands into one image.
+///
+/// # Panics
+/// Panics if bands do not exactly tile the image.
+pub fn composite_bands(width: usize, height: usize, bands: &[RenderedBand]) -> ImageBuffer {
+    let mut img = ImageBuffer::new(width, height);
+    let mut covered = vec![false; height];
+    for band in bands {
+        let rows = band.pixels.len() / width;
+        assert_eq!(band.pixels.len(), rows * width, "ragged band");
+        for r in 0..rows {
+            let y = band.row_start + r;
+            assert!(y < height, "band exceeds image");
+            assert!(!covered[y], "bands overlap at row {y}");
+            covered[y] = true;
+            for x in 0..width {
+                img.set(x, y, band.pixels[r * width + x]);
+            }
+        }
+    }
+    assert!(covered.iter().all(|&c| c), "bands do not cover the image");
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raster::rasterize;
+
+    fn field() -> Field2D {
+        Field2D::from_fn(32, 24, |i, j| (i as f64 * 0.3).sin() + (j as f64 * 0.5).cos())
+    }
+
+    #[test]
+    fn distributed_render_matches_serial() {
+        let f = field();
+        let serial = rasterize(&f, 64, 48, Colormap::Viridis, -2.0, 2.0);
+        for nranks in [1, 2, 3, 7, 48] {
+            let dist = render_distributed(&f, 64, 48, nranks, Colormap::Viridis, -2.0, 2.0);
+            assert_eq!(dist, serial, "mismatch at nranks={nranks}");
+        }
+    }
+
+    #[test]
+    fn composite_rejects_overlap() {
+        let band = RenderedBand {
+            row_start: 0,
+            pixels: vec![Rgb::BLACK; 4 * 2],
+        };
+        let overlapping = RenderedBand {
+            row_start: 1,
+            pixels: vec![Rgb::BLACK; 4 * 2],
+        };
+        let r = std::panic::catch_unwind(|| composite_bands(4, 3, &[band, overlapping]));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn composite_rejects_gaps() {
+        let band = RenderedBand {
+            row_start: 0,
+            pixels: vec![Rgb::BLACK; 4 * 2],
+        };
+        let r = std::panic::catch_unwind(|| composite_bands(4, 4, &[band]));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn bands_tile_exactly() {
+        let bands = vec![
+            RenderedBand {
+                row_start: 0,
+                pixels: vec![Rgb::new(1, 0, 0); 2 * 2],
+            },
+            RenderedBand {
+                row_start: 2,
+                pixels: vec![Rgb::new(2, 0, 0); 2],
+            },
+        ];
+        let img = composite_bands(2, 3, &bands);
+        assert_eq!(img.get(0, 0).r, 1);
+        assert_eq!(img.get(1, 2).r, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rank count")]
+    fn too_many_ranks_rejected() {
+        let f = field();
+        let _ = render_distributed(&f, 8, 4, 5, Colormap::Gray, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Marching-squares isoline extraction.
+//!
+//! Extracts the `W = threshold` contour of a scalar field as polyline
+//! segments — the vector analogue of the eddy-core boundary the raster
+//! overlay marks. Segments are produced per cell (no polygon assembly),
+//! which is what the renderer needs to stroke boundaries.
+
+use ivis_ocean::Field2D;
+
+/// A 2-D point in cell coordinates (x along columns, y along rows).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Column coordinate.
+    pub x: f64,
+    /// Row coordinate.
+    pub y: f64,
+}
+
+/// One contour segment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Segment start.
+    pub a: Point,
+    /// Segment end.
+    pub b: Point,
+}
+
+fn interp(p0: f64, p1: f64, v0: f64, v1: f64, iso: f64) -> f64 {
+    debug_assert!((v0 < iso) != (v1 < iso));
+    let t = (iso - v0) / (v1 - v0);
+    p0 + t * (p1 - p0)
+}
+
+/// Extract iso-contour segments of `field` at level `iso` using marching
+/// squares over each 2×2 cell block (non-periodic; the seam column is
+/// skipped, matching how contours are drawn on an unrolled map).
+pub fn extract_contours(field: &Field2D, iso: f64) -> Vec<Segment> {
+    let (nx, ny) = (field.nx(), field.ny());
+    let mut out = Vec::new();
+    for j in 0..ny.saturating_sub(1) {
+        for i in 0..nx.saturating_sub(1) {
+            let v = [
+                field.get(i, j),         // top-left  (local 0)
+                field.get(i + 1, j),     // top-right (1)
+                field.get(i + 1, j + 1), // bottom-right (2)
+                field.get(i, j + 1),     // bottom-left (3)
+            ];
+            let mut case = 0usize;
+            for (bit, &val) in v.iter().enumerate() {
+                if val >= iso {
+                    case |= 1 << bit;
+                }
+            }
+            if case == 0 || case == 15 {
+                continue;
+            }
+            let (x, y) = (i as f64, j as f64);
+            // Edge midpoints with linear interpolation.
+            let top = || Point {
+                x: interp(x, x + 1.0, v[0], v[1], iso),
+                y,
+            };
+            let right = || Point {
+                x: x + 1.0,
+                y: interp(y, y + 1.0, v[1], v[2], iso),
+            };
+            let bottom = || Point {
+                x: interp(x, x + 1.0, v[3], v[2], iso),
+                y: y + 1.0,
+            };
+            let left = || Point {
+                x,
+                y: interp(y, y + 1.0, v[0], v[3], iso),
+            };
+            let mut push = |a: Point, b: Point| out.push(Segment { a, b });
+            match case {
+                1 | 14 => push(left(), top()),
+                2 | 13 => push(top(), right()),
+                3 | 12 => push(left(), right()),
+                4 | 11 => push(right(), bottom()),
+                6 | 9 => push(top(), bottom()),
+                7 | 8 => push(left(), bottom()),
+                5 => {
+                    // Saddle: resolve by the cell-center average.
+                    let center = (v[0] + v[1] + v[2] + v[3]) / 4.0;
+                    if center >= iso {
+                        push(left(), top());
+                        push(right(), bottom());
+                    } else {
+                        push(top(), right());
+                        push(left(), bottom());
+                    }
+                }
+                10 => {
+                    let center = (v[0] + v[1] + v[2] + v[3]) / 4.0;
+                    if center >= iso {
+                        push(top(), right());
+                        push(left(), bottom());
+                    } else {
+                        push(left(), top());
+                        push(right(), bottom());
+                    }
+                }
+                _ => unreachable!("cases 0 and 15 are filtered"),
+            }
+        }
+    }
+    out
+}
+
+/// Total polyline length of a set of segments (cell units).
+pub fn total_length(segments: &[Segment]) -> f64 {
+    segments
+        .iter()
+        .map(|s| ((s.a.x - s.b.x).powi(2) + (s.a.y - s.b.y).powi(2)).sqrt())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_field_has_no_contours() {
+        let f = Field2D::filled(8, 8, 1.0);
+        assert!(extract_contours(&f, 0.5).is_empty());
+        assert!(extract_contours(&f, 2.0).is_empty());
+    }
+
+    #[test]
+    fn vertical_step_yields_vertical_line() {
+        // Field = i: contour of iso=2.5 runs between columns 2 and 3.
+        let f = Field2D::from_fn(6, 4, |i, _| i as f64);
+        let segs = extract_contours(&f, 2.5);
+        assert_eq!(segs.len(), 3); // one per row band
+        for s in &segs {
+            assert!((s.a.x - 2.5).abs() < 1e-12);
+            assert!((s.b.x - 2.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn circle_contour_length_approximates_circumference() {
+        // f = r² around the center; iso = R² gives a circle of radius R.
+        let n = 64;
+        let f = Field2D::from_fn(n, n, |i, j| {
+            let dx = i as f64 - 32.0;
+            let dy = j as f64 - 32.0;
+            dx * dx + dy * dy
+        });
+        let r = 10.0;
+        let segs = extract_contours(&f, r * r);
+        let len = total_length(&segs);
+        let circumference = 2.0 * std::f64::consts::PI * r;
+        assert!(
+            (len - circumference).abs() / circumference < 0.05,
+            "len {len} vs 2πR {circumference}"
+        );
+    }
+
+    #[test]
+    fn segment_endpoints_lie_on_cell_edges() {
+        let f = Field2D::from_fn(16, 16, |i, j| ((i * 7 + j * 13) % 5) as f64 - 2.0);
+        for s in extract_contours(&f, 0.1) {
+            for p in [s.a, s.b] {
+                let on_x_edge = (p.x - p.x.round()).abs() < 1e-9;
+                let on_y_edge = (p.y - p.y.round()).abs() < 1e-9;
+                assert!(on_x_edge || on_y_edge, "point off-grid: {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn saddle_cases_produce_two_segments() {
+        // 2×2 checkerboard: v0,v2 high; v1,v3 low → case 5 or 10.
+        let f = Field2D::from_fn(2, 2, |i, j| if (i + j) % 2 == 0 { 1.0 } else { -1.0 });
+        let segs = extract_contours(&f, 0.0);
+        assert_eq!(segs.len(), 2);
+    }
+
+    #[test]
+    fn interp_crosses_at_fraction() {
+        assert!((interp(0.0, 1.0, 0.0, 10.0, 2.5) - 0.25).abs() < 1e-12);
+    }
+}

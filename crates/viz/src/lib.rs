@@ -1,0 +1,37 @@
+//! # ivis-viz — the visualization substrate
+//!
+//! Stands in for ParaView/Catalyst/Cinema in the paper's pipelines, built
+//! from scratch:
+//!
+//! * [`color`] — RGB colors and colormaps, including the paper's Fig. 2
+//!   palette (green = rotation-dominated, blue = shear-dominated
+//!   Okubo-Weiss) and a viridis-like sequential map.
+//! * [`raster`] — image buffers and field→image resampling (bilinear),
+//!   parallelized over rows with rayon.
+//! * [`png`] — a from-scratch PNG encoder (stored-deflate zlib stream,
+//!   CRC-32, Adler-32) producing valid, loadable files.
+//! * [`ppm`] — binary PPM (P6) encode/decode, handy for tests and quick
+//!   viewing.
+//! * [`render`] — the field renderer: scalar field + colormap + optional
+//!   contour overlay → image.
+//! * [`cinema`] — a Cinema-style image database: deterministic directory
+//!   layout, hand-rolled JSON index, byte accounting (the in-situ
+//!   pipeline's `S_io`).
+//! * [`compositing`] — rank-parallel rendering: each simulated rank renders
+//!   its row slab; slabs are composited into the final image.
+
+pub mod annotate;
+pub mod cinema;
+pub mod color;
+pub mod compositing;
+pub mod contour;
+pub mod glyphs;
+pub mod png;
+pub mod ppm;
+pub mod raster;
+pub mod render;
+
+pub use cinema::CinemaDatabase;
+pub use color::{Colormap, Rgb};
+pub use raster::ImageBuffer;
+pub use render::FieldRenderer;

@@ -1,0 +1,243 @@
+//! A from-scratch PNG encoder.
+//!
+//! Produces standard-compliant PNGs: 8-bit RGB, one IDAT chunk containing a
+//! zlib stream of **stored** (uncompressed) deflate blocks with a correct
+//! Adler-32, and CRC-32 on every chunk. Stored blocks keep the encoder tiny
+//! and dependency-free while remaining readable by every PNG decoder; the
+//! resulting file size is `~3·w·h + h + 70` bytes.
+
+use crate::raster::ImageBuffer;
+
+/// The 8-byte PNG signature.
+pub const PNG_SIGNATURE: [u8; 8] = [0x89, b'P', b'N', b'G', 0x0D, 0x0A, 0x1A, 0x0A];
+
+/// CRC-32 (IEEE 802.3) over `data`, as PNG requires.
+pub fn crc32(data: &[u8]) -> u32 {
+    // Small table generated on the fly; performance is irrelevant next to
+    // the pixel volume.
+    let mut table = [0u32; 256];
+    for (n, entry) in table.iter_mut().enumerate() {
+        let mut c = n as u32;
+        for _ in 0..8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+        }
+        *entry = c;
+    }
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// Adler-32 checksum, as zlib requires.
+pub fn adler32(data: &[u8]) -> u32 {
+    const MOD: u32 = 65_521;
+    let mut a: u32 = 1;
+    let mut b: u32 = 0;
+    for chunk in data.chunks(5_552) {
+        for &x in chunk {
+            a += x as u32;
+            b += a;
+        }
+        a %= MOD;
+        b %= MOD;
+    }
+    (b << 16) | a
+}
+
+fn push_chunk(out: &mut Vec<u8>, kind: &[u8; 4], payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    let start = out.len();
+    out.extend_from_slice(kind);
+    out.extend_from_slice(payload);
+    let crc = crc32(&out[start..]);
+    out.extend_from_slice(&crc.to_be_bytes());
+}
+
+/// Wrap raw bytes in a zlib stream of stored deflate blocks.
+fn zlib_stored(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() + data.len() / 65_535 * 5 + 16);
+    out.push(0x78); // CMF: deflate, 32K window
+    out.push(0x01); // FLG: no preset dict, fastest (checksum-correct)
+    let mut chunks = data.chunks(65_535).peekable();
+    if data.is_empty() {
+        // One empty final stored block.
+        out.extend_from_slice(&[0x01, 0x00, 0x00, 0xFF, 0xFF]);
+    }
+    while let Some(chunk) = chunks.next() {
+        let bfinal = if chunks.peek().is_none() { 1 } else { 0 };
+        out.push(bfinal);
+        let len = chunk.len() as u16;
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&(!len).to_le_bytes());
+        out.extend_from_slice(chunk);
+    }
+    out.extend_from_slice(&adler32(data).to_be_bytes());
+    out
+}
+
+/// Encode an image as a PNG file.
+pub fn encode_png(img: &ImageBuffer) -> Vec<u8> {
+    let (w, h) = (img.width(), img.height());
+    let mut out = Vec::with_capacity(w * h * 3 + h + 128);
+    out.extend_from_slice(&PNG_SIGNATURE);
+
+    let mut ihdr = Vec::with_capacity(13);
+    ihdr.extend_from_slice(&(w as u32).to_be_bytes());
+    ihdr.extend_from_slice(&(h as u32).to_be_bytes());
+    ihdr.push(8); // bit depth
+    ihdr.push(2); // color type: truecolor RGB
+    ihdr.push(0); // compression
+    ihdr.push(0); // filter method
+    ihdr.push(0); // no interlace
+    push_chunk(&mut out, b"IHDR", &ihdr);
+
+    // Scanlines: filter byte 0 (None) + RGB triples.
+    let rgb = img.to_rgb_bytes();
+    let mut raw = Vec::with_capacity(h * (1 + 3 * w));
+    for y in 0..h {
+        raw.push(0);
+        raw.extend_from_slice(&rgb[y * 3 * w..(y + 1) * 3 * w]);
+    }
+    push_chunk(&mut out, b"IDAT", &zlib_stored(&raw));
+    push_chunk(&mut out, b"IEND", &[]);
+    out
+}
+
+/// Exact size in bytes of the PNG this encoder produces for a `w × h` image,
+/// without encoding. Used for byte accounting in the pipelines.
+pub fn encoded_png_size(w: usize, h: usize) -> u64 {
+    let raw = h * (1 + 3 * w);
+    let n_blocks = raw.div_ceil(65_535).max(1);
+    let zlib = 2 + raw + 5 * n_blocks + 4;
+    // signature + IHDR(12+13) + IDAT(12+zlib) + IEND(12)
+    (8 + 25 + 12 + zlib + 12) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::Rgb;
+
+    /// Minimal structural PNG parser used only for verification.
+    fn parse_chunks(data: &[u8]) -> Vec<(String, Vec<u8>)> {
+        assert_eq!(&data[..8], &PNG_SIGNATURE);
+        let mut chunks = Vec::new();
+        let mut pos = 8;
+        while pos < data.len() {
+            let len = u32::from_be_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+            let kind = String::from_utf8(data[pos + 4..pos + 8].to_vec()).unwrap();
+            let payload = data[pos + 8..pos + 8 + len].to_vec();
+            let stored_crc =
+                u32::from_be_bytes(data[pos + 8 + len..pos + 12 + len].try_into().unwrap());
+            let computed = crc32(&data[pos + 4..pos + 8 + len]);
+            assert_eq!(stored_crc, computed, "bad CRC on {kind}");
+            chunks.push((kind, payload));
+            pos += 12 + len;
+        }
+        chunks
+    }
+
+    /// Decode a zlib stream of stored blocks (inverse of `zlib_stored`).
+    fn unzlib_stored(z: &[u8]) -> Vec<u8> {
+        assert_eq!(z[0] & 0x0F, 8, "deflate method");
+        let mut out = Vec::new();
+        let mut pos = 2;
+        loop {
+            let bfinal = z[pos] & 1;
+            assert_eq!(z[pos] >> 1, 0, "stored block expected");
+            let len = u16::from_le_bytes(z[pos + 1..pos + 3].try_into().unwrap()) as usize;
+            let nlen = u16::from_le_bytes(z[pos + 3..pos + 5].try_into().unwrap());
+            assert_eq!(!(len as u16), nlen, "LEN/NLEN mismatch");
+            out.extend_from_slice(&z[pos + 5..pos + 5 + len]);
+            pos += 5 + len;
+            if bfinal == 1 {
+                break;
+            }
+        }
+        let expect = u32::from_be_bytes(z[pos..pos + 4].try_into().unwrap());
+        assert_eq!(adler32(&out), expect, "adler mismatch");
+        out
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"IEND"), 0xAE42_6082);
+    }
+
+    #[test]
+    fn adler32_known_vectors() {
+        assert_eq!(adler32(b""), 1);
+        assert_eq!(adler32(b"Wikipedia"), 0x11E6_0398);
+    }
+
+    #[test]
+    fn png_structure_is_valid() {
+        let mut img = ImageBuffer::new(5, 3);
+        img.set(0, 0, Rgb::new(255, 0, 0));
+        let png = encode_png(&img);
+        let chunks = parse_chunks(&png);
+        assert_eq!(chunks[0].0, "IHDR");
+        assert_eq!(chunks[1].0, "IDAT");
+        assert_eq!(chunks[2].0, "IEND");
+        // IHDR fields
+        let ihdr = &chunks[0].1;
+        assert_eq!(u32::from_be_bytes(ihdr[0..4].try_into().unwrap()), 5);
+        assert_eq!(u32::from_be_bytes(ihdr[4..8].try_into().unwrap()), 3);
+        assert_eq!(ihdr[8], 8);
+        assert_eq!(ihdr[9], 2);
+    }
+
+    #[test]
+    fn pixels_roundtrip_through_idat() {
+        let mut img = ImageBuffer::new(4, 2);
+        for y in 0..2 {
+            for x in 0..4 {
+                img.set(x, y, Rgb::new(x as u8 * 10, y as u8 * 100, 7));
+            }
+        }
+        let png = encode_png(&img);
+        let chunks = parse_chunks(&png);
+        let raw = unzlib_stored(&chunks[1].1);
+        // Each scanline: filter byte then RGB triples.
+        assert_eq!(raw.len(), 2 * (1 + 12));
+        assert_eq!(raw[0], 0);
+        assert_eq!(&raw[1..4], &[0, 0, 7]); // pixel (0,0)
+        assert_eq!(&raw[1 + 9..1 + 12], &[30, 0, 7]); // pixel (3,0)
+        assert_eq!(&raw[14 ..17], &[0, 100, 7]); // pixel (0,1)
+    }
+
+    #[test]
+    fn size_prediction_is_exact() {
+        for (w, h) in [(1, 1), (5, 3), (64, 64), (333, 17)] {
+            let img = ImageBuffer::new(w, h);
+            assert_eq!(
+                encode_png(&img).len() as u64,
+                encoded_png_size(w, h),
+                "size mismatch for {w}x{h}"
+            );
+        }
+    }
+
+    #[test]
+    fn large_image_spans_multiple_deflate_blocks() {
+        // > 65535 raw bytes forces multiple stored blocks.
+        let img = ImageBuffer::new(256, 100); // raw = 100*(1+768) = 76900
+        let png = encode_png(&img);
+        let chunks = parse_chunks(&png);
+        let raw = unzlib_stored(&chunks[1].1);
+        assert_eq!(raw.len(), 100 * 769);
+        assert_eq!(png.len() as u64, encoded_png_size(256, 100));
+    }
+
+    #[test]
+    fn hd_image_size_near_cinema_budget() {
+        // The in-situ image budget per timestep in the paper is ≈1.1 MB;
+        // one 720×512 stored-PNG frame is in that ballpark.
+        let size = encoded_png_size(720, 512);
+        assert!(size > 1_000_000 && size < 1_200_000, "size={size}");
+    }
+}

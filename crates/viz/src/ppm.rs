@@ -1,0 +1,134 @@
+//! Binary PPM (P6) encoding and decoding.
+//!
+//! PPM is the simplest interchange format there is; we use it in tests (its
+//! decoder doubles as a check on our buffers) and for quick local viewing.
+
+use crate::color::Rgb;
+use crate::raster::ImageBuffer;
+
+/// Errors from PPM decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PpmError {
+    /// Missing or wrong magic number.
+    BadMagic,
+    /// Malformed header.
+    BadHeader,
+    /// Only maxval 255 is supported.
+    UnsupportedMaxval(u32),
+    /// Payload shorter than `3·w·h`.
+    Truncated,
+}
+
+impl std::fmt::Display for PpmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PpmError::BadMagic => write!(f, "not a P6 PPM"),
+            PpmError::BadHeader => write!(f, "malformed PPM header"),
+            PpmError::UnsupportedMaxval(m) => write!(f, "unsupported maxval {m}"),
+            PpmError::Truncated => write!(f, "truncated PPM payload"),
+        }
+    }
+}
+
+impl std::error::Error for PpmError {}
+
+/// Encode an image as binary PPM (P6).
+pub fn encode_ppm(img: &ImageBuffer) -> Vec<u8> {
+    let header = format!("P6\n{} {}\n255\n", img.width(), img.height());
+    let mut out = Vec::with_capacity(header.len() + img.pixels().len() * 3);
+    out.extend_from_slice(header.as_bytes());
+    out.extend_from_slice(&img.to_rgb_bytes());
+    out
+}
+
+/// Decode a binary PPM (P6) produced by [`encode_ppm`] (or any conforming
+/// writer without comment lines).
+pub fn decode_ppm(data: &[u8]) -> Result<ImageBuffer, PpmError> {
+    let mut pos = 0;
+    let mut token = |data: &[u8]| -> Result<String, PpmError> {
+        while pos < data.len() && data[pos].is_ascii_whitespace() {
+            pos += 1;
+        }
+        let start = pos;
+        while pos < data.len() && !data[pos].is_ascii_whitespace() {
+            pos += 1;
+        }
+        if start == pos {
+            return Err(PpmError::BadHeader);
+        }
+        String::from_utf8(data[start..pos].to_vec()).map_err(|_| PpmError::BadHeader)
+    };
+    if token(data)? != "P6" {
+        return Err(PpmError::BadMagic);
+    }
+    let w: usize = token(data)?.parse().map_err(|_| PpmError::BadHeader)?;
+    let h: usize = token(data)?.parse().map_err(|_| PpmError::BadHeader)?;
+    let maxval: u32 = token(data)?.parse().map_err(|_| PpmError::BadHeader)?;
+    if maxval != 255 {
+        return Err(PpmError::UnsupportedMaxval(maxval));
+    }
+    pos += 1; // exactly one whitespace byte after maxval
+    if data.len() < pos + 3 * w * h {
+        return Err(PpmError::Truncated);
+    }
+    let mut img = ImageBuffer::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let o = pos + 3 * (y * w + x);
+            img.set(x, y, Rgb::new(data[o], data[o + 1], data[o + 2]));
+        }
+    }
+    Ok(img)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_image() -> ImageBuffer {
+        let mut img = ImageBuffer::new(3, 2);
+        img.set(0, 0, Rgb::new(1, 2, 3));
+        img.set(2, 1, Rgb::new(250, 251, 252));
+        img
+    }
+
+    #[test]
+    fn roundtrip() {
+        let img = test_image();
+        let back = decode_ppm(&encode_ppm(&img)).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn header_shape() {
+        let data = encode_ppm(&test_image());
+        assert!(data.starts_with(b"P6\n3 2\n255\n"));
+        assert_eq!(data.len(), 11 + 18);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(decode_ppm(b"P5\n1 1\n255\nxxx"), Err(PpmError::BadMagic));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let mut data = encode_ppm(&test_image());
+        data.truncate(data.len() - 1);
+        assert_eq!(decode_ppm(&data), Err(PpmError::Truncated));
+    }
+
+    #[test]
+    fn wrong_maxval_rejected() {
+        assert_eq!(
+            decode_ppm(b"P6\n1 1\n65535\n\0\0\0\0\0\0"),
+            Err(PpmError::UnsupportedMaxval(65535))
+        );
+    }
+
+    #[test]
+    fn garbage_header_rejected() {
+        assert_eq!(decode_ppm(b"P6\nxx yy\n255\n"), Err(PpmError::BadHeader));
+        assert_eq!(decode_ppm(b""), Err(PpmError::BadHeader));
+    }
+}

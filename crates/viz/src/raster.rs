@@ -1,0 +1,188 @@
+//! Image buffers and field resampling.
+
+use ivis_ocean::Field2D;
+use rayon::prelude::*;
+
+use crate::color::{Colormap, Rgb};
+
+/// A dense RGB image, row-major, row 0 at the top.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImageBuffer {
+    width: usize,
+    height: usize,
+    pixels: Vec<Rgb>,
+}
+
+impl ImageBuffer {
+    /// A black image.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        ImageBuffer {
+            width,
+            height,
+            pixels: vec![Rgb::BLACK; width * height],
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel at `(x, y)`.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> Rgb {
+        debug_assert!(x < self.width && y < self.height);
+        self.pixels[y * self.width + x]
+    }
+
+    /// Set pixel at `(x, y)`.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, c: Rgb) {
+        debug_assert!(x < self.width && y < self.height);
+        self.pixels[y * self.width + x] = c;
+    }
+
+    /// Raw pixels, row-major.
+    pub fn pixels(&self) -> &[Rgb] {
+        &self.pixels
+    }
+
+    /// Parallel mutable access to rows: `(y, row)` pairs.
+    pub fn par_rows_mut(&mut self) -> impl IndexedParallelIterator<Item = (usize, &mut [Rgb])> {
+        self.pixels.par_chunks_mut(self.width).enumerate()
+    }
+
+    /// Raw RGB bytes (3 per pixel), for encoders.
+    pub fn to_rgb_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.pixels.len() * 3);
+        for p in &self.pixels {
+            out.extend_from_slice(&[p.r, p.g, p.b]);
+        }
+        out
+    }
+
+    /// Fraction of pixels for which `pred` holds — a cheap way to assert
+    /// image content in tests.
+    pub fn fraction_where(&self, pred: impl Fn(Rgb) -> bool + Sync) -> f64 {
+        let n = self.pixels.par_iter().filter(|&&p| pred(p)).count();
+        n as f64 / self.pixels.len() as f64
+    }
+}
+
+/// Bilinearly sample `field` at fractional coordinates `(fx, fy)` given in
+/// cell units (0..nx, 0..ny), clamped at the y edges and wrapped in x.
+pub fn sample_bilinear(field: &Field2D, fx: f64, fy: f64) -> f64 {
+    let ny = field.ny();
+    let x0 = fx.floor();
+    let y0 = fy.floor();
+    let tx = fx - x0;
+    let ty = fy - y0;
+    let i0 = x0 as isize;
+    let i1 = i0 + 1;
+    let clamp_y = |j: isize| -> usize { j.clamp(0, ny as isize - 1) as usize };
+    let j0 = clamp_y(y0 as isize);
+    let j1 = clamp_y(y0 as isize + 1);
+    let v00 = field.get_wrap_x(i0, j0);
+    let v10 = field.get_wrap_x(i1, j0);
+    let v01 = field.get_wrap_x(i0, j1);
+    let v11 = field.get_wrap_x(i1, j1);
+    let top = v00 * (1.0 - tx) + v10 * tx;
+    let bot = v01 * (1.0 - tx) + v11 * tx;
+    top * (1.0 - ty) + bot * ty
+}
+
+/// Rasterize a scalar field into an image using `colormap` over `(lo, hi)`.
+/// Row 0 of the image corresponds to the *top* (largest y / northernmost
+/// row) of the field. Parallel over image rows.
+pub fn rasterize(
+    field: &Field2D,
+    width: usize,
+    height: usize,
+    colormap: Colormap,
+    lo: f64,
+    hi: f64,
+) -> ImageBuffer {
+    assert!(hi > lo, "rasterize range must have hi > lo");
+    let mut img = ImageBuffer::new(width, height);
+    let (nx, ny) = (field.nx() as f64, field.ny() as f64);
+    img.par_rows_mut().for_each(|(y, row)| {
+        // Flip vertically: image row 0 = field's top row.
+        let fy = (1.0 - (y as f64 + 0.5) / height as f64) * ny - 0.5;
+        for (x, px) in row.iter_mut().enumerate() {
+            let fx = (x as f64 + 0.5) / width as f64 * nx - 0.5;
+            let v = sample_bilinear(field, fx, fy);
+            *px = colormap.map(v, lo, hi);
+        }
+    });
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_basics() {
+        let mut img = ImageBuffer::new(4, 3);
+        assert_eq!((img.width(), img.height()), (4, 3));
+        img.set(2, 1, Rgb::new(9, 8, 7));
+        assert_eq!(img.get(2, 1), Rgb::new(9, 8, 7));
+        assert_eq!(img.pixels().len(), 12);
+        assert_eq!(img.to_rgb_bytes().len(), 36);
+    }
+
+    #[test]
+    fn bilinear_interpolates_exactly_at_centers() {
+        let f = Field2D::from_fn(4, 4, |i, j| (i * 10 + j) as f64);
+        assert_eq!(sample_bilinear(&f, 1.0, 2.0), 12.0);
+        // Halfway between (1,2)=12 and (2,2)=22.
+        assert!((sample_bilinear(&f, 1.5, 2.0) - 17.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bilinear_wraps_in_x_and_clamps_in_y() {
+        let f = Field2D::from_fn(4, 3, |i, _| i as f64);
+        // x = 3.5 sits between column 3 (=3) and wrapped column 0 (=0).
+        assert!((sample_bilinear(&f, 3.5, 1.0) - 1.5).abs() < 1e-12);
+        // y below 0 clamps to row 0.
+        assert_eq!(sample_bilinear(&f, 1.0, -5.0), 1.0);
+        assert_eq!(sample_bilinear(&f, 1.0, 99.0), 1.0);
+    }
+
+    #[test]
+    fn rasterize_constant_field_is_uniform() {
+        let f = Field2D::filled(8, 8, 0.5);
+        let img = rasterize(&f, 32, 16, Colormap::Gray, 0.0, 1.0);
+        let expected = Colormap::Gray.sample(0.5);
+        assert!(img.fraction_where(|p| p == expected) > 0.999);
+    }
+
+    #[test]
+    fn rasterize_flips_vertically() {
+        // Field with a bright top row (j = ny-1): must appear at image row 0.
+        let f = Field2D::from_fn(8, 8, |_, j| if j == 7 { 1.0 } else { 0.0 });
+        let img = rasterize(&f, 8, 8, Colormap::Gray, 0.0, 1.0);
+        let top_avg: u32 = (0..8).map(|x| img.get(x, 0).r as u32).sum();
+        let bottom_avg: u32 = (0..8).map(|x| img.get(x, 7).r as u32).sum();
+        assert!(top_avg > bottom_avg, "top {top_avg} vs bottom {bottom_avg}");
+    }
+
+    #[test]
+    fn fraction_where_counts() {
+        let mut img = ImageBuffer::new(2, 2);
+        img.set(0, 0, Rgb::WHITE);
+        assert!((img.fraction_where(|p| p == Rgb::WHITE) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_size_rejected() {
+        let _ = ImageBuffer::new(0, 4);
+    }
+}

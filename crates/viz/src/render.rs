@@ -1,0 +1,223 @@
+//! The field renderer: scalar fields → images.
+//!
+//! This is the "ParaView" of the workspace: it turns an Okubo-Weiss (or any
+//! scalar) field into the colored image the paper's Fig. 2 shows, with a
+//! choice of range normalization and an optional eddy-core contour overlay.
+
+use ivis_ocean::Field2D;
+
+use crate::color::{Colormap, Rgb};
+use crate::raster::{rasterize, ImageBuffer};
+
+/// How raw field values are normalized into the colormap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RangeMode {
+    /// Use the field's min/max.
+    MinMax,
+    /// Symmetric about zero: `[−k·σ, +k·σ]` — the right choice for
+    /// Okubo-Weiss, whose sign carries the physics.
+    SymmetricSigma(f64),
+    /// Fixed explicit range.
+    Fixed(f64, f64),
+}
+
+/// A configured renderer.
+///
+/// ```
+/// use ivis_ocean::Field2D;
+/// use ivis_viz::render::FieldRenderer;
+/// use ivis_viz::png::encode_png;
+///
+/// // A synthetic Okubo-Weiss well (negative core = rotation).
+/// let w = Field2D::from_fn(16, 16, |i, j| {
+///     let (dx, dy) = (i as f64 - 8.0, j as f64 - 8.0);
+///     -((-(dx * dx + dy * dy) / 8.0).exp())
+/// });
+/// let img = FieldRenderer::okubo_weiss(64, 64).render(&w);
+/// let png = encode_png(&img);
+/// assert_eq!(&png[1..4], b"PNG");
+/// ```
+#[derive(Debug, Clone)]
+pub struct FieldRenderer {
+    /// Output width, pixels.
+    pub width: usize,
+    /// Output height, pixels.
+    pub height: usize,
+    /// Colormap.
+    pub colormap: Colormap,
+    /// Range normalization.
+    pub range: RangeMode,
+}
+
+impl FieldRenderer {
+    /// The paper's Fig. 2 style: Okubo-Weiss palette, symmetric ±2σ range.
+    pub fn okubo_weiss(width: usize, height: usize) -> Self {
+        FieldRenderer {
+            width,
+            height,
+            colormap: Colormap::OkuboWeiss,
+            range: RangeMode::SymmetricSigma(2.0),
+        }
+    }
+
+    /// Resolve the active `(lo, hi)` range for a field.
+    pub fn resolve_range(&self, field: &Field2D) -> (f64, f64) {
+        match self.range {
+            RangeMode::Fixed(lo, hi) => (lo, hi),
+            RangeMode::MinMax => {
+                let (lo, hi) = (field.min(), field.max());
+                if hi > lo {
+                    (lo, hi)
+                } else {
+                    (lo - 0.5, lo + 0.5) // constant field: any non-empty range
+                }
+            }
+            RangeMode::SymmetricSigma(k) => {
+                let s = field.std_dev();
+                let bound = if s > 0.0 { k * s } else { 1.0 };
+                (-bound, bound)
+            }
+        }
+    }
+
+    /// Render the field.
+    pub fn render(&self, field: &Field2D) -> ImageBuffer {
+        let (lo, hi) = self.resolve_range(field);
+        rasterize(field, self.width, self.height, self.colormap, lo, hi)
+    }
+
+    /// Render with an overlay marking cells below `threshold` (eddy cores)
+    /// by darkening their pixels — the visual analogue of the tracking
+    /// pipeline's segmentation.
+    pub fn render_with_core_overlay(&self, field: &Field2D, threshold: f64) -> ImageBuffer {
+        let mut img = self.render(field);
+        let (nx, ny) = (field.nx() as f64, field.ny() as f64);
+        let (w, h) = (self.width, self.height);
+        for y in 0..h {
+            let fy = (1.0 - (y as f64 + 0.5) / h as f64) * ny - 0.5;
+            for x in 0..w {
+                let fx = (x as f64 + 0.5) / w as f64 * nx - 0.5;
+                let v = crate::raster::sample_bilinear(field, fx, fy);
+                if v < threshold {
+                    let p = img.get(x, y);
+                    img.set(x, y, Rgb::new(p.r / 2, p.g / 2, p.b / 2));
+                }
+            }
+        }
+        img
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivis_ocean::grid::Grid;
+    use ivis_ocean::okubo_weiss::{eddy_threshold, okubo_weiss};
+    use ivis_ocean::shallow_water::{ShallowWaterModel, SwParams};
+    use ivis_ocean::vortex::{seed_vortex, Vortex};
+
+    fn eddy_ow_field() -> (Grid, Field2D) {
+        let grid = Grid::channel(48, 32, 60_000.0);
+        let params = SwParams::eddy_channel(&grid);
+        let mut m = ShallowWaterModel::new(grid.clone(), params);
+        let (lx, ly) = m.grid().extent();
+        seed_vortex(
+            &mut m,
+            &Vortex {
+                x: lx / 2.0,
+                y: ly / 2.0,
+                radius: 150_000.0,
+                amplitude: 1.0,
+            },
+        );
+        let (uc, vc) = m.centered_velocities();
+        let w = okubo_weiss(m.grid(), &uc, &vc);
+        (grid, w)
+    }
+
+    #[test]
+    fn fig2_style_render_contains_green_cores_and_blue_shear() {
+        let (_, w) = eddy_ow_field();
+        let img = FieldRenderer::okubo_weiss(96, 64).render(&w);
+        let green = img.fraction_where(|p| p.g > p.b.saturating_add(20) && p.g > p.r);
+        let blue = img.fraction_where(|p| p.b > p.g.saturating_add(10));
+        assert!(green > 0.001, "eddy core should render green: {green}");
+        assert!(blue > 0.001, "shear ring should render blue: {blue}");
+    }
+
+    #[test]
+    fn fixed_range_is_respected() {
+        let f = Field2D::filled(8, 8, 5.0);
+        let r = FieldRenderer {
+            width: 4,
+            height: 4,
+            colormap: Colormap::Gray,
+            range: RangeMode::Fixed(0.0, 10.0),
+        };
+        let img = r.render(&f);
+        assert!(img.fraction_where(|p| p == Rgb::new(128, 128, 128)) > 0.99);
+    }
+
+    #[test]
+    fn minmax_range_spans_field() {
+        let f = Field2D::from_fn(8, 8, |i, _| i as f64);
+        let r = FieldRenderer {
+            width: 8,
+            height: 8,
+            colormap: Colormap::Gray,
+            range: RangeMode::MinMax,
+        };
+        let (lo, hi) = r.resolve_range(&f);
+        assert_eq!((lo, hi), (0.0, 7.0));
+    }
+
+    #[test]
+    fn constant_field_does_not_panic_in_any_mode() {
+        let f = Field2D::filled(8, 8, 3.0);
+        for range in [
+            RangeMode::MinMax,
+            RangeMode::SymmetricSigma(2.0),
+            RangeMode::Fixed(0.0, 1.0),
+        ] {
+            let r = FieldRenderer {
+                width: 4,
+                height: 4,
+                colormap: Colormap::Viridis,
+                range,
+            };
+            let _ = r.render(&f);
+        }
+    }
+
+    #[test]
+    fn overlay_darkens_core_pixels() {
+        let (grid, w) = eddy_ow_field();
+        let renderer = FieldRenderer::okubo_weiss(96, 64);
+        let thr = eddy_threshold(&w, 0.2);
+        let plain = renderer.render(&w);
+        let overlaid = renderer.render_with_core_overlay(&w, thr);
+        let _ = grid;
+        // Some pixels must differ (darkened), and darkened ones are darker.
+        let mut darkened = 0;
+        for y in 0..64 {
+            for x in 0..96 {
+                let a = plain.get(x, y);
+                let b = overlaid.get(x, y);
+                if a != b {
+                    darkened += 1;
+                    assert!(b.r <= a.r && b.g <= a.g && b.b <= a.b);
+                }
+            }
+        }
+        assert!(darkened > 0, "overlay should mark the eddy core");
+    }
+
+    #[test]
+    fn symmetric_range_centered_on_zero() {
+        let f = Field2D::from_fn(16, 16, |i, j| ((i + j) as f64).sin());
+        let r = FieldRenderer::okubo_weiss(8, 8);
+        let (lo, hi) = r.resolve_range(&f);
+        assert!((lo + hi).abs() < 1e-12);
+        assert!(hi > 0.0);
+    }
+}

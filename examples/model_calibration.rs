@@ -1,0 +1,97 @@
+//! Model calibration walkthrough with uncertainty quantification.
+//!
+//! Reproduces the paper's §VI end to end — measure three configurations,
+//! solve Eq. 5, validate on the rest (Fig. 8) — and then goes further:
+//! parametric-bootstrap confidence intervals on the constants and on a
+//! what-if prediction, plus the sensitivity decomposition that says which
+//! parameter matters for each pipeline.
+//!
+//! ```sh
+//! cargo run --release --example model_calibration
+//! ```
+
+use insitu_vis::model::calibrate::{calibrate_exact, CalibrationPoint};
+use insitu_vis::model::sensitivity::elasticities;
+use insitu_vis::model::uncertainty::{bootstrap_calibration, bootstrap_prediction};
+use insitu_vis::model::validate::validate;
+use insitu_vis::pipeline::campaign::Campaign;
+use insitu_vis::pipeline::metrics::model_point;
+use insitu_vis::pipeline::{PipelineConfig, PipelineKind};
+
+fn main() {
+    // 1. Measure the paper's three calibration configurations (with the
+    //    meter noise a real campaign would see).
+    let campaign = Campaign::paper_noisy(20_170_519);
+    let pts: Vec<CalibrationPoint> = [
+        (PipelineKind::InSitu, 72.0),
+        (PipelineKind::InSitu, 8.0),
+        (PipelineKind::PostProcessing, 24.0),
+    ]
+    .iter()
+    .map(|&(kind, h)| {
+        let m = campaign.run(&PipelineConfig::paper(kind, h));
+        let (t, s, n) = model_point(&m);
+        println!(
+            "measured {:<16} @ {h:>4} h: t = {t:>7.1} s, S = {s:>7.2} GB, N = {n:>4}",
+            kind.label()
+        );
+        CalibrationPoint::new(t, s, n)
+    })
+    .collect();
+    let pts3 = [pts[0], pts[1], pts[2]];
+
+    // 2. Solve Eq. 5.
+    let model = calibrate_exact(&pts3, 8_640).expect("well-conditioned");
+    println!(
+        "\nEq. 5 solution: t_sim = {:.1} s, alpha = {:.2} s/GB, beta = {:.3} s/image",
+        model.t_sim_ref, model.alpha, model.beta
+    );
+    println!("paper:          t_sim = 603 s,  alpha = 6.3 s/GB,  beta = 1.2 s/image");
+
+    // 3. Fig. 8: validate on the full matrix of an independent campaign.
+    let eval_pts: Vec<CalibrationPoint> = Campaign::paper_noisy(86)
+        .run_paper_matrix()
+        .iter()
+        .map(|m| {
+            let (t, s, n) = model_point(m);
+            CalibrationPoint::new(t, s, n)
+        })
+        .collect();
+    let report = validate(&model, &eval_pts, 8_640);
+    println!(
+        "\nFig. 8 validation over 6 configs: max |error| = {:.3} %, mean = {:.3} % (paper: <0.5 %)",
+        report.max_abs_rel_error() * 100.0,
+        report.mean_abs_rel_error() * 100.0
+    );
+
+    // 4. Bootstrap confidence intervals (±0.3 % meter noise, 95 %).
+    let u = bootstrap_calibration(&pts3, 8_640, 0.003, 500, 0.95, 7);
+    println!("\n95% confidence intervals under 0.3% meter noise ({} replicates):", u.replicates);
+    println!("  t_sim: [{:.1}, {:.1}] s", u.t_sim.lo, u.t_sim.hi);
+    println!("  alpha: [{:.2}, {:.2}] s/GB", u.alpha.lo, u.alpha.hi);
+    println!("  beta : [{:.3}, {:.3}] s/image", u.beta.lo, u.beta.hi);
+
+    // 5. Prediction interval for the held-out post @8 h configuration.
+    let iv = bootstrap_prediction(&pts3, 8_640, 0.003, 500, 0.95, 11, 8_640, 230.0, 540.0);
+    println!(
+        "\npredicted post @8 h: {:.0} s, 95% interval [{:.0}, {:.0}] s",
+        iv.point, iv.lo, iv.hi
+    );
+
+    // 6. Sensitivities: where does the time go?
+    for (label, s, n) in [("post @8 h", 230.0, 540.0), ("in-situ @8 h", 0.6, 540.0)] {
+        let e = elasticities(&model, 8_640, s, n);
+        println!(
+            "\nelasticities for {label}: t_sim {:.0} %, alpha {:.0} %, beta {:.0} %",
+            e.t_sim * 100.0,
+            e.alpha * 100.0,
+            e.beta * 100.0
+        );
+    }
+    println!(
+        "\nReading: post-processing lives or dies by alpha (storage bandwidth); \
+         in-situ by beta (render cost) and the simulation itself — which is why \
+         in-situ wins as long as one image set is cheaper to make than one raw \
+         dump is to write."
+    );
+}

@@ -1,0 +1,70 @@
+//! Power characterization (the paper's §V): the Fig. 4 power profile, the
+//! proportionality of both subsystems, and the §VIII I/O-wait ablation that
+//! explains why power stays flat.
+//!
+//! ```sh
+//! cargo run --release --example power_characterization
+//! ```
+
+use insitu_vis::cluster::IoWaitPolicy;
+use insitu_vis::pipeline::campaign::Campaign;
+use insitu_vis::pipeline::{PipelineConfig, PipelineKind};
+use insitu_vis::power::proportionality::Proportionality;
+use insitu_vis::storage::StoragePowerModel;
+
+fn main() {
+    // --- Fig. 4: the post-processing power profile -----------------------
+    let campaign = Campaign::paper();
+    let m = campaign.run(&PipelineConfig::paper(PipelineKind::PostProcessing, 8.0));
+    println!("Fig. 4 — post-processing @8h, per-minute averaged power:");
+    println!("  minute | compute kW | storage W");
+    for ((min, cw), (_, sw)) in m
+        .compute_profile
+        .as_rows()
+        .into_iter()
+        .zip(m.storage_profile.as_rows())
+    {
+        println!("  {min:>6.0} | {:>10.2} | {sw:>9.1}", cw / 1e3);
+    }
+
+    // --- §V: power proportionality ---------------------------------------
+    let rack = StoragePowerModel::paper_lustre_rack().proportionality();
+    let cluster = Proportionality::paper_compute_cluster();
+    println!("\nPower proportionality:");
+    println!(
+        "  storage rack : idle {:.0} W, full {:.0} W  (+{:.1} %)  — max possible saving {:.0} W",
+        rack.idle.watts(),
+        rack.full.watts(),
+        rack.dynamic_range_pct(),
+        rack.max_saving().watts()
+    );
+    println!(
+        "  compute      : idle {:.1} kW, full {:.1} kW (+{:.0} %)",
+        cluster.idle.kilowatts(),
+        cluster.full.kilowatts(),
+        cluster.dynamic_range_pct()
+    );
+    println!(
+        "  → dropping storage bandwidth to zero can save at most {:.0} W of ~46 kW: \
+         in-situ cannot reduce power (the paper's Finding 2).",
+        rack.max_saving().watts()
+    );
+
+    // --- §VIII ablation: busy-wait vs deep-idle I/O ----------------------
+    println!("\n§VIII ablation — what if CPUs slept during I/O waits?");
+    for policy in [IoWaitPolicy::BusyWait, IoWaitPolicy::DeepIdle] {
+        let mut c = Campaign::paper();
+        c.config.io_policy = policy;
+        let m = c.run(&PipelineConfig::paper(PipelineKind::PostProcessing, 8.0));
+        println!(
+            "  {:?}: avg power {:.2} kW, energy {:.1} MJ",
+            policy,
+            m.avg_power_total().kilowatts(),
+            m.energy_total().megajoules()
+        );
+    }
+    println!(
+        "  → busy-waiting is why the measured pipelines draw the same power; \
+         millisecond-scale idle states would turn the I/O phases into real savings."
+    );
+}

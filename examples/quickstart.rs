@@ -1,0 +1,67 @@
+//! Quickstart: measure both pipelines at one sampling rate, compare them,
+//! calibrate the paper's model, and ask one what-if question.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use insitu_vis::model::calibrate::{calibrate_exact, CalibrationPoint};
+use insitu_vis::model::WhatIfAnalyzer;
+use insitu_vis::ocean::{ProblemSpec, SamplingRate};
+use insitu_vis::pipeline::campaign::Campaign;
+use insitu_vis::pipeline::metrics::{compare, model_point};
+use insitu_vis::pipeline::{PipelineConfig, PipelineKind};
+
+fn main() {
+    // 1. Run the instrumented campaign: the paper's 60 km ocean problem on
+    //    the simulated Caddy cluster, output every 8 simulated hours.
+    let campaign = Campaign::paper();
+    let insitu = campaign.run(&PipelineConfig::paper(PipelineKind::InSitu, 8.0));
+    let post = campaign.run(&PipelineConfig::paper(PipelineKind::PostProcessing, 8.0));
+
+    println!("Measured (simulated Caddy cluster, sampling every 8 simulated hours):");
+    println!("{}", insitu.row());
+    println!("{}", post.row());
+
+    let c = compare(&insitu, &post);
+    println!(
+        "\nIn-situ vs post-processing: {:.0}% faster, {:.0}% less energy, \
+         {:.1}% less disk, power delta {:.2} kW (paper: 51%, 50%, >99.5%, ~0)",
+        c.time_saving_pct,
+        c.energy_saving_pct,
+        c.storage_reduction_pct,
+        c.power_delta.kilowatts()
+    );
+
+    // 2. Calibrate the paper's model (Eq. 5) from three measured points.
+    let pts: Vec<CalibrationPoint> = [
+        (PipelineKind::InSitu, 72.0),
+        (PipelineKind::InSitu, 8.0),
+        (PipelineKind::PostProcessing, 24.0),
+    ]
+    .iter()
+    .map(|&(kind, h)| {
+        let m = campaign.run(&PipelineConfig::paper(kind, h));
+        let (t, s, n) = model_point(&m);
+        CalibrationPoint::new(t, s, n)
+    })
+    .collect();
+    let model = calibrate_exact(&[pts[0], pts[1], pts[2]], 8640).expect("well-conditioned");
+    println!(
+        "\nCalibrated model: t_sim = {:.0} s, alpha = {:.2} s/GB, beta = {:.2} s/image \
+         (paper: 603, 6.3, 1.2)",
+        model.t_sim_ref, model.alpha, model.beta
+    );
+
+    // 3. One what-if: a 100-year simulation sampled daily.
+    let analyzer = WhatIfAnalyzer {
+        model,
+        ..WhatIfAnalyzer::paper()
+    };
+    let spec = ProblemSpec::paper_100yr();
+    let saving = analyzer.energy_saving_pct(&spec, SamplingRate::daily());
+    println!(
+        "\nWhat-if: 100 simulated years, output daily → in-situ saves {saving:.0}% \
+         of workflow energy (paper: 38%)."
+    );
+}

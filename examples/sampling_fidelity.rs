@@ -1,0 +1,75 @@
+//! Scientific fidelity vs sampling rate: how eddy tracking degrades when
+//! output is written less often.
+//!
+//! This quantifies the paper's motivation ("understanding the simulation
+//! becomes difficult when the sampling frequency gets too low"): run the
+//! solver once, detect eddies at every step, then re-track at increasing
+//! temporal strides and watch identities fragment.
+//!
+//! ```sh
+//! cargo run --release --example sampling_fidelity
+//! ```
+
+use insitu_vis::eddy::features::extract_features;
+use insitu_vis::eddy::metrics::{sampling_sweep, DetectionSequence};
+use insitu_vis::eddy::segment::segment_eddies;
+use insitu_vis::ocean::grid::Grid;
+use insitu_vis::ocean::okubo_weiss::okubo_weiss;
+use insitu_vis::ocean::shallow_water::{ShallowWaterModel, SwParams};
+use insitu_vis::ocean::vortex::seed_random_eddies;
+
+fn main() {
+    let grid = Grid::channel(96, 64, 60_000.0);
+    let params = SwParams::eddy_channel(&grid);
+    let dt_hours = params.dt / 3600.0;
+    let mut model = ShallowWaterModel::new(grid.clone(), params);
+    seed_random_eddies(&mut model, 8, 321);
+
+    // Detect eddies roughly every two simulated hours for ~10 simulated
+    // days — long enough for the β-plane westward drift (~0.4 m/s for these
+    // radii) to move cores by whole cells between coarse samples.
+    let steps_per_frame = 34u64;
+    let frames = 120usize;
+    println!(
+        "Running {} steps ({:.0} simulated days), detecting eddies every {:.1} simulated hours...",
+        steps_per_frame * frames as u64,
+        steps_per_frame as f64 * frames as f64 * dt_hours / 24.0,
+        steps_per_frame as f64 * dt_hours
+    );
+    let mut detections: DetectionSequence = Vec::with_capacity(frames);
+    for _ in 0..frames {
+        model.run(steps_per_frame);
+        let (uc, vc) = model.centered_velocities();
+        let w = okubo_weiss(model.grid(), &uc, &vc);
+        let seg = segment_eddies(&w, 0.2, 3);
+        detections.push(extract_features(model.grid(), &w, &seg));
+    }
+    let mean_count =
+        detections.iter().map(Vec::len).sum::<usize>() as f64 / detections.len() as f64;
+    println!("Mean eddies per frame: {mean_count:.1}");
+
+    let (lx, _) = grid.extent();
+    let gate = grid.dx; // one cell: tight enough to expose coarse sampling
+    let strides = [1usize, 2, 5, 10, 20, 30];
+    println!("\nTracking quality vs temporal stride (gate {:.0} km):", gate / 1000.0);
+    println!("  stride | frames kept | tracks | track ratio | mean hop (km) | hop/gate");
+    for q in sampling_sweep(&detections, &strides, gate, 1, lx) {
+        println!(
+            "  {:>6} | {:>11} | {:>6} | {:>11.2} | {:>13.1} | {:>8.2}",
+            q.stride,
+            frames.div_ceil(q.stride),
+            q.tracks,
+            q.fragmentation,
+            q.mean_hop_m / 1000.0,
+            q.mean_hop_m / gate
+        );
+    }
+    println!(
+        "\nReading the table: a track ratio below 1 means the coarse census \
+         lost eddies outright (short-lived cores fell between samples), and \
+         hop/gate approaching 1 means surviving identities are about to be \
+         scrambled — the per-hop displacement grows linearly with the \
+         stride. Dense sampling keeps both healthy, and in-situ output is \
+         what makes dense sampling affordable (Figs. 9/10)."
+    );
+}

@@ -1,0 +1,70 @@
+//! Storage pressure: drive the 7.7 TB Lustre model until it fills.
+//!
+//! The paper's Fig. 9 motivation, made concrete: a post-processing run at a
+//! daily rate fills the rack mid-campaign, while the in-situ image stream
+//! never comes close.
+//!
+//! ```sh
+//! cargo run --release --example storage_pressure
+//! ```
+
+use insitu_vis::ocean::{ProblemSpec, SamplingRate};
+use insitu_vis::sim::SimTime;
+use insitu_vis::storage::{ParallelFileSystem, PfsError};
+
+fn main() {
+    let spec = ProblemSpec::paper_100yr();
+    let rate = SamplingRate::daily();
+    let raw = spec.raw_output_bytes();
+    let image = 1_111_111u64;
+    let outputs = spec.num_outputs(rate);
+    println!(
+        "100-year run, daily outputs: {} outputs of {:.1} MB raw / {:.2} MB images",
+        outputs,
+        raw as f64 / 1e6,
+        image as f64 / 1e6
+    );
+
+    // Post-processing: write raw files until the rack refuses.
+    let mut fs = ParallelFileSystem::caddy_lustre();
+    let mut now = SimTime::ZERO;
+    let mut written = 0u64;
+    let fail = loop {
+        if written >= outputs {
+            break None;
+        }
+        match fs.write(now, &format!("/raw/out_{written:06}.nc"), raw) {
+            Ok(done) => {
+                now = done;
+                written += 1;
+            }
+            Err(e) => break Some(e),
+        }
+    };
+    match fail {
+        Some(PfsError::NoSpace { needed, free }) => {
+            let years = written as f64 / 365.0;
+            println!(
+                "post-processing: rack FULL after {written} outputs (~{years:.1} simulated \
+                 years of the 100): needed {needed} B, only {free} B free ({:.2} TB used)",
+                fs.used_bytes() as f64 / 1e12
+            );
+        }
+        Some(e) => println!("unexpected failure: {e}"),
+        None => println!("post-processing: all {outputs} outputs fit (unexpected!)"),
+    }
+
+    // In-situ: the same campaign as images.
+    let mut fs = ParallelFileSystem::caddy_lustre();
+    let mut now = SimTime::ZERO;
+    for k in 0..outputs {
+        now = fs
+            .write(now, &format!("/cinema/ts_{k:06}.png"), image)
+            .expect("images never fill the rack");
+    }
+    println!(
+        "in-situ: all {outputs} image sets written, {:.1} GB of 7.7 TB used ({:.2} %)",
+        fs.used_bytes() as f64 / 1e9,
+        fs.used_bytes() as f64 / 7.7e12 * 100.0
+    );
+}

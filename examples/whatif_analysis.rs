@@ -1,0 +1,60 @@
+//! What-if analysis (the paper's §VII): storage and energy versus sampling
+//! rate for a 100-simulated-year climate run, plus budget solvers.
+//!
+//! ```sh
+//! cargo run --release --example whatif_analysis
+//! ```
+
+use insitu_vis::model::WhatIfAnalyzer;
+use insitu_vis::ocean::{ProblemSpec, SamplingRate};
+use insitu_vis::pipeline::PipelineKind;
+use insitu_vis::power::units::Joules;
+
+fn main() {
+    let a = WhatIfAnalyzer::paper();
+    let spec = ProblemSpec::paper_100yr();
+
+    println!("Fig. 9 — storage for a 100-year simulation vs sampling interval");
+    println!("  every (h) |   post-proc |     in-situ");
+    for h in [1.0, 4.0, 8.0, 24.0, 48.0, 96.0, 192.0, 384.0] {
+        let r = SamplingRate::every_hours(h);
+        let post = a.storage_bytes(PipelineKind::PostProcessing, &spec, r) as f64 / 1e12;
+        let insitu = a.storage_bytes(PipelineKind::InSitu, &spec, r) as f64 / 1e12;
+        println!("  {h:>9.0} | {post:>8.2} TB | {insitu:>8.4} TB");
+    }
+    let budget = 2_000_000_000_000u64;
+    let days =
+        a.max_rate_under_storage_budget(PipelineKind::PostProcessing, &spec, budget) / 24.0;
+    let insitu_h = a.max_rate_under_storage_budget(PipelineKind::InSitu, &spec, budget);
+    println!(
+        "  With a 2 TB reservation: post-processing is forced to once every \
+         {days:.1} days (paper: ~8); in-situ could go to once every {insitu_h:.2} hours."
+    );
+
+    println!("\nFig. 10 — workflow energy vs sampling interval (100 years)");
+    println!("  every (h) |  post-proc |    in-situ |  saving");
+    for h in [1.0, 2.0, 4.0, 8.0, 12.0, 24.0, 48.0] {
+        let r = SamplingRate::every_hours(h);
+        let post = a.energy(PipelineKind::PostProcessing, &spec, r).joules() / 1e9;
+        let insitu = a.energy(PipelineKind::InSitu, &spec, r).joules() / 1e9;
+        let saving = a.energy_saving_pct(&spec, r);
+        println!("  {h:>9.0} | {post:>7.1} GJ | {insitu:>7.1} GJ | {saving:>5.1} %");
+    }
+    println!("  (paper: 67.2 % at hourly, 49 % at 12 h, 38 % at daily)");
+
+    println!("\nBudget solver — largest sampling rate under an energy budget");
+    for budget_gj in [60.0, 100.0, 200.0] {
+        let budget = Joules(budget_gj * 1e9);
+        let post = a.max_rate_under_energy_budget(PipelineKind::PostProcessing, &spec, budget);
+        let insitu = a.max_rate_under_energy_budget(PipelineKind::InSitu, &spec, budget);
+        let fmt = |r: Option<f64>| match r {
+            Some(h) if h.is_finite() => format!("every {h:.1} h"),
+            _ => "infeasible".to_string(),
+        };
+        println!(
+            "  {budget_gj:>5.0} GJ: post-processing {} | in-situ {}",
+            fmt(post),
+            fmt(insitu)
+        );
+    }
+}

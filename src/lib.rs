@@ -1,0 +1,18 @@
+//! # insitu-vis — facade crate
+//!
+//! Re-exports the full public API of the `insitu-vis` workspace, a
+//! reproduction of *“Characterizing and Modeling Power and Energy for
+//! Extreme-Scale In-Situ Visualization”* (IPDPS 2017).
+//!
+//! See the workspace `README.md` for a guided tour and `DESIGN.md` for the
+//! crate inventory and per-experiment index.
+
+pub use ivis_cluster as cluster;
+pub use ivis_core as pipeline;
+pub use ivis_eddy as eddy;
+pub use ivis_model as model;
+pub use ivis_ocean as ocean;
+pub use ivis_power as power;
+pub use ivis_sim as sim;
+pub use ivis_storage as storage;
+pub use ivis_viz as viz;

@@ -1,0 +1,131 @@
+//! Consistency between the measured campaign and the analytical model:
+//! a model calibrated from three campaign runs must predict configurations
+//! it never saw, and the Eq. 6/7 scalings must match what the instrumented
+//! filesystem actually accounted.
+
+use insitu_vis::model::calibrate::{calibrate_exact, calibrate_least_squares, CalibrationPoint};
+use insitu_vis::model::scaling::{scale_image_count, scale_storage_bytes};
+use insitu_vis::ocean::SamplingRate;
+use insitu_vis::pipeline::campaign::Campaign;
+use insitu_vis::pipeline::metrics::model_point;
+use insitu_vis::pipeline::{PipelineConfig, PipelineKind};
+
+fn point(campaign: &Campaign, kind: PipelineKind, h: f64) -> CalibrationPoint {
+    let m = campaign.run(&PipelineConfig::paper(kind, h));
+    let (t, s, n) = model_point(&m);
+    CalibrationPoint::new(t, s, n)
+}
+
+#[test]
+fn calibrated_model_predicts_unseen_rates() {
+    let campaign = Campaign::paper();
+    let model = calibrate_exact(
+        &[
+            point(&campaign, PipelineKind::InSitu, 72.0),
+            point(&campaign, PipelineKind::InSitu, 8.0),
+            point(&campaign, PipelineKind::PostProcessing, 24.0),
+        ],
+        8640,
+    )
+    .expect("well-conditioned");
+    // Predict configurations the calibration never saw: 12 h and 48 h.
+    for (kind, h) in [
+        (PipelineKind::PostProcessing, 12.0),
+        (PipelineKind::PostProcessing, 48.0),
+        (PipelineKind::InSitu, 12.0),
+        (PipelineKind::InSitu, 48.0),
+    ] {
+        let measured = campaign.run(&PipelineConfig::paper(kind, h));
+        let (t, s, n) = model_point(&measured);
+        let predicted = model.predict_seconds(8640, s, n);
+        let rel = (predicted - t).abs() / t;
+        assert!(
+            rel < 0.01,
+            "{} @{h}h: predicted {predicted:.0}s vs measured {t:.0}s ({:.2}% off)",
+            kind.label(),
+            rel * 100.0
+        );
+    }
+}
+
+#[test]
+fn least_squares_over_full_matrix_matches_exact_solve() {
+    let campaign = Campaign::paper();
+    let exact = calibrate_exact(
+        &[
+            point(&campaign, PipelineKind::InSitu, 72.0),
+            point(&campaign, PipelineKind::InSitu, 8.0),
+            point(&campaign, PipelineKind::PostProcessing, 24.0),
+        ],
+        8640,
+    )
+    .expect("solvable");
+    let all: Vec<CalibrationPoint> = campaign
+        .run_paper_matrix()
+        .iter()
+        .map(|m| {
+            let (t, s, n) = model_point(m);
+            CalibrationPoint::new(t, s, n)
+        })
+        .collect();
+    let ls = calibrate_least_squares(&all, 8640).expect("solvable");
+    assert!((exact.alpha - ls.alpha).abs() < 0.1, "{} vs {}", exact.alpha, ls.alpha);
+    assert!((exact.beta - ls.beta).abs() < 0.05);
+    assert!((exact.t_sim_ref - ls.t_sim_ref).abs() < 5.0);
+}
+
+#[test]
+fn eq6_scaling_matches_campaign_accounting() {
+    // Storage measured at 24 h, scaled by Eq. 6 to 8 h and 72 h, must match
+    // the filesystem's own accounting of those runs.
+    let campaign = Campaign::paper();
+    let r24 = SamplingRate::every_hours(24.0);
+    let s24 = campaign
+        .run(&PipelineConfig::paper(PipelineKind::PostProcessing, 24.0))
+        .storage_bytes;
+    for h in [8.0, 72.0] {
+        let measured = campaign
+            .run(&PipelineConfig::paper(PipelineKind::PostProcessing, h))
+            .storage_bytes;
+        let scaled = scale_storage_bytes(s24, r24, SamplingRate::every_hours(h));
+        let rel = (measured as f64 - scaled as f64).abs() / measured as f64;
+        assert!(
+            rel < 0.01,
+            "@{h}h: Eq.6 gives {scaled}, campaign accounted {measured}"
+        );
+    }
+}
+
+#[test]
+fn eq7_scaling_matches_output_counts() {
+    let campaign = Campaign::paper();
+    let r24 = SamplingRate::every_hours(24.0);
+    let n24 = campaign
+        .run(&PipelineConfig::paper(PipelineKind::InSitu, 24.0))
+        .num_outputs;
+    for (h, expect) in [(8.0, 540u64), (72.0, 60u64)] {
+        let scaled = scale_image_count(n24, r24, SamplingRate::every_hours(h));
+        assert_eq!(scaled, expect);
+    }
+}
+
+#[test]
+fn model_decomposition_matches_campaign_phases() {
+    // The campaign's phase timeline and the model's Eq. 2/3 decomposition
+    // agree on where the time goes.
+    let campaign = Campaign::paper();
+    let model = calibrate_exact(
+        &[
+            point(&campaign, PipelineKind::InSitu, 72.0),
+            point(&campaign, PipelineKind::InSitu, 8.0),
+            point(&campaign, PipelineKind::PostProcessing, 24.0),
+        ],
+        8640,
+    )
+    .expect("solvable");
+    let m = campaign.run(&PipelineConfig::paper(PipelineKind::PostProcessing, 8.0));
+    let (t_sim, t_io, t_viz) = model.decompose(8640, m.storage_gb(), m.num_outputs as f64);
+    assert!((m.t_sim.as_secs_f64() - t_sim).abs() / t_sim < 0.01);
+    assert!((m.t_io.as_secs_f64() - t_io).abs() / t_io < 0.03);
+    assert!((m.t_viz.as_secs_f64() - t_viz).abs() / t_viz < 0.03);
+}
