@@ -39,7 +39,9 @@ fn bench_fig2(c: &mut Criterion) {
             b.iter(|| renderer.render(&snap.okubo_weiss))
         });
         let img = renderer.render(&snap.okubo_weiss);
-        g.bench_function(format!("png_encode_{w}x{h}"), |b| b.iter(|| encode_png(&img)));
+        g.bench_function(format!("png_encode_{w}x{h}"), |b| {
+            b.iter(|| encode_png(&img))
+        });
     }
     g.finish();
 }

@@ -6,7 +6,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ivis_bench::{eq5_calibration, fig8_validation};
-use ivis_model::calibrate::{calibrate_exact, calibrate_least_squares, paper_points, CalibrationPoint};
+use ivis_model::calibrate::{
+    calibrate_exact, calibrate_least_squares, paper_points, CalibrationPoint,
+};
 use ivis_model::validate::validate;
 
 fn bench_fig8(c: &mut Criterion) {

@@ -19,11 +19,7 @@ fn bench_fig9(c: &mut Criterion) {
     });
     g.bench_function("budget_crossover_solve", |b| {
         b.iter(|| {
-            a.max_rate_under_storage_budget(
-                PipelineKind::PostProcessing,
-                &spec,
-                2_000_000_000_000,
-            )
+            a.max_rate_under_storage_budget(PipelineKind::PostProcessing, &spec, 2_000_000_000_000)
         })
     });
     g.bench_function("single_point_storage", |b| {

@@ -19,7 +19,9 @@ fn bench_native(c: &mut Criterion) {
     let mut g = c.benchmark_group("native_pipeline");
     g.sample_size(10);
     g.bench_function("insitu_tiny", |bch| bch.iter(|| run_native_insitu(&cfg)));
-    g.bench_function("postproc_tiny", |bch| bch.iter(|| run_native_postproc(&cfg)));
+    g.bench_function("postproc_tiny", |bch| {
+        bch.iter(|| run_native_postproc(&cfg))
+    });
     let small = NativeConfig::small();
     g.bench_function("insitu_small", |bch| bch.iter(|| run_native_insitu(&small)));
     g.finish();

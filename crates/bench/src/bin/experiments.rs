@@ -171,6 +171,46 @@ fn native() {
     );
 }
 
+fn trace(args: &[String]) {
+    use ivis_bench::obs_export::{config_label, render_trace_summary, trace_jsonl, traced_run};
+    use ivis_cluster::IoWaitPolicy;
+    use ivis_core::PipelineKind;
+
+    let kind = match args.first().map(String::as_str) {
+        Some("post") => PipelineKind::PostProcessing,
+        _ => PipelineKind::InSitu,
+    };
+    let hours: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(72.0);
+    banner(&format!(
+        "Trace — {} @ {hours} h, busy-wait vs deep-idle (§VIII ablation)",
+        kind.label()
+    ));
+    let out_dir = std::path::PathBuf::from("target/traces");
+    std::fs::create_dir_all(&out_dir).expect("trace dir writable");
+    for policy in [IoWaitPolicy::BusyWait, IoWaitPolicy::DeepIdle] {
+        let policy_label = match policy {
+            IoWaitPolicy::BusyWait => "busy-wait",
+            IoWaitPolicy::DeepIdle => "deep-idle",
+        };
+        let traced = traced_run(kind, hours, policy);
+        println!("\n--- io_policy = {policy_label} ---");
+        print!("{}", render_trace_summary(&traced, 72));
+        println!(
+            "  metered total {:.2} MJ, attributed {:.2} MJ",
+            traced.metrics.energy_total().megajoules(),
+            traced.attribution.attributed_total().megajoules()
+        );
+        let file = out_dir.join(format!(
+            "{}_{policy_label}.jsonl",
+            config_label(kind, hours).replace('@', "_")
+        ));
+        std::fs::write(&file, trace_jsonl(&traced)).expect("trace file writable");
+        println!("  JSONL trace written to {}", file.display());
+    }
+    println!("\n  diff the two JSONL dumps (or the tables above) to see where the");
+    println!("  busy-wait policy spends compute energy during I/O phases.");
+}
+
 fn table1() {
     banner("Table I — comparison with related work (qualitative)");
     println!("  Power:        related work estimated; this work measured (simulated meters)");
@@ -199,7 +239,9 @@ fn main() {
         "extensions" => extensions(),
         "csv" => {
             let dir = std::path::PathBuf::from(
-                args.get(1).cloned().unwrap_or_else(|| "target/figures".into()),
+                args.get(1)
+                    .cloned()
+                    .unwrap_or_else(|| "target/figures".into()),
             );
             let files = ivis_bench::csv::export_all(&dir).expect("output dir writable");
             println!("wrote {} CSV files to {}:", files.len(), dir.display());
@@ -208,6 +250,7 @@ fn main() {
             }
         }
         "native" => native(),
+        "trace" => trace(&args[1..]),
         "table1" => table1(),
         "all" => {
             table1();
@@ -229,7 +272,7 @@ fn main() {
         other => {
             eprintln!("unknown experiment: {other}");
             eprintln!(
-                "usage: experiments [all|fig2..fig10|eq5|proportionality|ablations|extensions|csv [dir]|native|table1]"
+                "usage: experiments [all|fig2..fig10|eq5|proportionality|ablations|extensions|csv [dir]|native|trace [insitu|post] [hours]|table1]"
             );
             std::process::exit(2);
         }

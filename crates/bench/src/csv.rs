@@ -8,17 +8,13 @@ use std::path::Path;
 
 use crate::{
     extension_burst_buffer_rows, extension_intransit_rows, extension_scaling_rows, fig10_rows,
-    fig3_rows, fig4_profile, fig5_rows, fig6_rows, fig7_rows, fig9_rows, proportionality_rows,
-    Row,
+    fig3_rows, fig4_profile, fig5_rows, fig6_rows, fig7_rows, fig9_rows, proportionality_rows, Row,
 };
 
 fn rows_to_csv(rows: &[Row]) -> String {
     let mut out = String::from("label,measured,paper,unit\n");
     for r in rows {
-        let paper = r
-            .paper
-            .map(|p| format!("{p}"))
-            .unwrap_or_default();
+        let paper = r.paper.map(|p| format!("{p}")).unwrap_or_default();
         let _ = writeln!(out, "\"{}\",{},{},{}", r.label, r.measured, paper, r.unit);
     }
     out
@@ -68,11 +64,9 @@ pub fn export_all(dir: &Path) -> io::Result<Vec<String>> {
         "power_proportionality.csv",
         rows_to_csv(&proportionality_rows()),
     )?;
+    put("phase_energy.csv", crate::obs_export::phase_energy_csv())?;
     let (it_rows, baseline) = extension_intransit_rows(72.0);
-    let it: Vec<(f64, f64, f64)> = it_rows
-        .iter()
-        .map(|&(n, t, p)| (n as f64, t, p))
-        .collect();
+    let it: Vec<(f64, f64, f64)> = it_rows.iter().map(|&(n, t, p)| (n as f64, t, p)).collect();
     let mut it_csv = triples_to_csv("staging_nodes,exec_s,avg_power_kw", &it);
     let _ = writeln!(it_csv, "# in-situ baseline: {baseline} s");
     put("ext_intransit.csv", it_csv)?;

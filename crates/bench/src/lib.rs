@@ -7,6 +7,7 @@
 //! machinery; the integration tests assert the shapes.
 
 pub mod csv;
+pub mod obs_export;
 
 use ivis_cluster::IoWaitPolicy;
 use ivis_core::campaign::Campaign;
@@ -175,7 +176,13 @@ pub fn fig7_rows() -> Vec<Row> {
         rows.push(Row {
             label: format!("in-situ storage @ {h} h"),
             measured: insitu.storage_gb(),
-            paper: Some(if i == 0 { 0.6 } else if i == 1 { 0.2 } else { 0.1 }),
+            paper: Some(if i == 0 {
+                0.6
+            } else if i == 1 {
+                0.2
+            } else {
+                0.1
+            }),
             unit: "GB",
         });
         let c = compare(&insitu, &post);
@@ -207,11 +214,8 @@ pub fn eq5_calibration() -> (PerfModel, Vec<Row>) {
         CalibrationPoint::new(t, s, n)
     })
     .collect();
-    let model = calibrate_exact(
-        &[pts[0], pts[1], pts[2]],
-        spec.total_steps(),
-    )
-    .expect("paper points are well-conditioned");
+    let model = calibrate_exact(&[pts[0], pts[1], pts[2]], spec.total_steps())
+        .expect("paper points are well-conditioned");
     let rows = vec![
         Row {
             label: "t_sim (s)".into(),
@@ -267,11 +271,9 @@ pub fn fig9_rows() -> (Vec<(f64, f64, f64)>, Row) {
             )
         })
         .collect();
-    let crossover_days = a.max_rate_under_storage_budget(
-        PipelineKind::PostProcessing,
-        &spec,
-        2_000_000_000_000,
-    ) / 24.0;
+    let crossover_days =
+        a.max_rate_under_storage_budget(PipelineKind::PostProcessing, &spec, 2_000_000_000_000)
+            / 24.0;
     (
         rows,
         Row {
@@ -432,8 +434,7 @@ pub fn extension_scaling_rows() -> Vec<(usize, f64, f64)> {
         .map(|&cages| {
             let campaign = Campaign::scaled_caddy(cages);
             let insitu = campaign.run(&PipelineConfig::paper(PipelineKind::InSitu, 8.0));
-            let post =
-                campaign.run(&PipelineConfig::paper(PipelineKind::PostProcessing, 8.0));
+            let post = campaign.run(&PipelineConfig::paper(PipelineKind::PostProcessing, 8.0));
             let c = compare(&insitu, &post);
             (
                 cages * 10,
@@ -490,8 +491,7 @@ pub fn ablation_storage_proportionality_rows() -> Vec<(f64, f64)> {
     // dynamic range weighted by post-processing's busy fraction (~54% of
     // the post @8h run is I/O).
     let post = run(PipelineKind::PostProcessing, 8.0);
-    let busy_frac =
-        post.t_io.as_secs_f64() / post.execution_time.as_secs_f64();
+    let busy_frac = post.t_io.as_secs_f64() / post.execution_time.as_secs_f64();
     [0.0127, 0.1, 0.25, 0.5, 0.75, 1.0]
         .iter()
         .map(|&f| {

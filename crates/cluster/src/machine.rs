@@ -49,9 +49,12 @@ pub struct Machine {
 
 impl Machine {
     /// Build a machine from parts. Meters start with the idle baseline.
-    pub fn new(topology: ClusterTopology, node_model: NodePowerModel, policy: IoWaitPolicy) -> Self {
-        let idle_cage =
-            Watts(node_model.idle().watts() * topology.nodes_per_cage as f64);
+    pub fn new(
+        topology: ClusterTopology,
+        node_model: NodePowerModel,
+        policy: IoWaitPolicy,
+    ) -> Self {
+        let idle_cage = Watts(node_model.idle().watts() * topology.nodes_per_cage as f64);
         let cage_meters = (0..topology.num_cages)
             .map(|i| MeteredPdu::appro_cage(format!("cage{i}"), idle_cage))
             .collect();
@@ -365,7 +368,9 @@ mod tests {
         let mut m = Machine::caddy(IoWaitPolicy::BusyWait).with_power_noise(7, 0.01);
         m.begin_phase(t(0), JobPhase::Simulate);
         m.finish(t(60));
-        let p = m.cluster_meter().report(SimTime::ZERO, t(60))[0].avg.watts();
+        let p = m.cluster_meter().report(SimTime::ZERO, t(60))[0]
+            .avg
+            .watts();
         assert!((p - 44_000.0).abs() < 44_000.0 * 0.05);
         assert!((p - 44_000.0).abs() > 1e-9, "noise should perturb");
     }

@@ -164,7 +164,10 @@ mod tests {
             JobPhase::WriteOutput.load(IoWaitPolicy::DeepIdle),
             NodeLoad::IO_DEEP_IDLE
         );
-        assert_eq!(JobPhase::Simulate.load(IoWaitPolicy::DeepIdle), NodeLoad::COMPUTE);
+        assert_eq!(
+            JobPhase::Simulate.load(IoWaitPolicy::DeepIdle),
+            NodeLoad::COMPUTE
+        );
         assert_eq!(JobPhase::Idle.load(IoWaitPolicy::BusyWait), NodeLoad::IDLE);
     }
 

@@ -50,8 +50,7 @@ impl CatalystAdaptor {
         let w = okubo_weiss(model.grid(), &uc, &vc);
         let ssh = model.state().h.clone();
         // Copied payload: centered velocities, W and SSH.
-        self.bytes_copied +=
-            8 * (uc.len() + vc.len() + w.len() + ssh.len()) as u64;
+        self.bytes_copied += 8 * (uc.len() + vc.len() + w.len() + ssh.len()) as u64;
         self.adaptations += 1;
         VizSnapshot {
             timestep: model.steps(),

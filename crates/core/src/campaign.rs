@@ -20,6 +20,7 @@
 
 use ivis_cluster::topology::ClusterTopology;
 use ivis_cluster::{IoWaitPolicy, JobPhase, Machine};
+use ivis_obs::{attribute, AttrValue, Component, EnergyAttribution, Recorder, SpanId};
 use ivis_ocean::cost::SimulationCostModel;
 use ivis_power::node::NodePowerModel;
 use ivis_sim::{SimDuration, SimRng, SimTime};
@@ -48,6 +49,11 @@ pub struct CampaignConfig {
     pub power_noise_rel: f64,
     /// RNG seed for the noise streams.
     pub seed: u64,
+    /// Trace recorder handle. Defaults to [`Recorder::off`], which keeps
+    /// every instrumentation hook a no-op; swap in
+    /// [`Recorder::in_memory`] (keeping a clone) to capture spans, events
+    /// and metrics for the run.
+    pub recorder: Recorder,
 }
 
 impl CampaignConfig {
@@ -61,6 +67,7 @@ impl CampaignConfig {
             noise_rel: 0.0,
             power_noise_rel: 0.0,
             seed: 0x1915_2017,
+            recorder: Recorder::off(),
         }
     }
 
@@ -73,6 +80,82 @@ impl CampaignConfig {
             seed,
             ..CampaignConfig::paper()
         }
+    }
+}
+
+/// Keeps the recorder's phase spans and the machine's phase timeline in
+/// lock-step: each `begin` closes the previous phase span and opens the
+/// next one at the same instant `Machine::begin_phase` switches loads, so
+/// the trace tiles the run exactly and per-phase energy attribution is
+/// conservative.
+struct PhaseTracer<'a> {
+    rec: &'a Recorder,
+    open: SpanId,
+}
+
+impl<'a> PhaseTracer<'a> {
+    fn new(rec: &'a Recorder) -> Self {
+        PhaseTracer {
+            rec,
+            open: SpanId::NONE,
+        }
+    }
+
+    fn begin(&mut self, machine: &mut Machine, t: SimTime, phase: JobPhase) {
+        self.rec.close(t, self.open);
+        machine.begin_phase(t, phase);
+        self.open = self.rec.phase_span(t, phase, Component::Compute);
+        if self.rec.is_on() {
+            self.rec
+                .gauge_set(t, "cluster.power_w", machine.power_now().watts());
+        }
+    }
+
+    /// Attach an attribute to the currently open phase span.
+    fn attr(&self, key: &'static str, value: AttrValue) {
+        self.rec.set_attr(self.open, key, value);
+    }
+
+    fn finish(self, machine: &mut Machine, t: SimTime) {
+        self.rec.close(t, self.open);
+        machine.finish(t);
+    }
+}
+
+/// Record the storage-side trace of one completed output write: the
+/// `output_written` event, cumulative byte/output counters, and the PFS
+/// backlog gauges sampled at both submission and completion (for
+/// synchronous writes the backlog drains to zero at `done`; with a burst
+/// buffer it stays positive while Lustre catches up).
+fn note_write(
+    rec: &Recorder,
+    pfs: &ParallelFileSystem,
+    submitted: SimTime,
+    done: SimTime,
+    index: u64,
+    bytes: u64,
+) {
+    if !rec.is_on() {
+        return;
+    }
+    rec.event(
+        done,
+        "output_written",
+        Component::Storage,
+        &[
+            ("index", AttrValue::U64(index)),
+            ("bytes", AttrValue::U64(bytes)),
+            (
+                "write_seconds",
+                AttrValue::F64((done - submitted).as_secs_f64()),
+            ),
+        ],
+    );
+    rec.counter_add(done, "pfs.bytes_written", bytes as f64);
+    rec.counter_add(done, "pfs.outputs_written", 1.0);
+    for t in [submitted, done] {
+        rec.gauge_set(t, "pfs.queued_write_seconds", pfs.queued_write_seconds(t));
+        rec.gauge_set(t, "pfs.bandwidth_utilization", pfs.bandwidth_utilization(t));
     }
 }
 
@@ -157,6 +240,38 @@ impl Campaign {
             .collect()
     }
 
+    /// Open the root `campaign` span carrying the run's identity
+    /// (pipeline kind, output rate, I/O wait policy).
+    fn open_root(&self, pc: &PipelineConfig, t: SimTime) -> SpanId {
+        let rec = &self.config.recorder;
+        let root = rec.span(t, "campaign", Component::Campaign);
+        rec.set_attr(root, "kind", AttrValue::Str(pc.kind.label()));
+        rec.set_attr(root, "rate_hours", AttrValue::F64(pc.rate.every_hours));
+        rec.set_attr(
+            root,
+            "io_policy",
+            AttrValue::Str(match self.config.io_policy {
+                IoWaitPolicy::BusyWait => "busy-wait",
+                IoWaitPolicy::DeepIdle => "deep-idle",
+            }),
+        );
+        root
+    }
+
+    /// Per-phase energy report for a traced run: joins the recorder's
+    /// phase timeline against `metrics`' power profiles. Returns `None`
+    /// when the recorder is off. Use a fresh recorder per run — the
+    /// buffer accumulates, and timelines from two runs don't concatenate.
+    pub fn attribution(&self, metrics: &PipelineMetrics) -> Option<EnergyAttribution> {
+        self.config.recorder.with_buffer(|buf| {
+            attribute(
+                &buf.phase_timeline(),
+                &metrics.compute_profile,
+                &metrics.storage_profile,
+            )
+        })
+    }
+
     pub(crate) fn noise(&self, rng: &mut SimRng) -> f64 {
         if self.config.noise_rel > 0.0 {
             rng.noise_factor(self.config.noise_rel)
@@ -219,42 +334,56 @@ impl Campaign {
         let mut machine = self.machine();
         let mut pfs = ParallelFileSystem::caddy_lustre();
         let mut buf = BurstBuffer::new(bb);
+        let rec = &self.config.recorder;
         let spec = &pc.spec;
         let n_out = spec.num_outputs(pc.rate);
         let spp = spec.steps_per_output(pc.rate);
         let step_secs = self.cost.step_seconds(spec);
         let raw = spec.raw_output_bytes();
         let mut now = SimTime::ZERO;
+        let root = self.open_root(pc, now);
+        let mut tracer = PhaseTracer::new(rec);
         for k in 0..n_out {
-            machine.begin_phase(now, JobPhase::Simulate);
+            tracer.begin(&mut machine, now, JobPhase::Simulate);
             now += SimDuration::from_secs_f64(step_secs * spp as f64 * self.noise(&mut rng));
-            machine.begin_phase(now, JobPhase::WriteOutput);
+            tracer.begin(&mut machine, now, JobPhase::WriteOutput);
             let path = format!("/postproc-bb/raw/out_{k:06}.nc");
+            let wid = rec.span(now, "bb_write", Component::Storage);
+            rec.set_attr(wid, "bytes", AttrValue::U64(raw));
+            let submitted = now;
             now = buf
                 .write(&mut pfs, now, &path, raw)
                 .expect("paper configs fit in the rack");
+            rec.close(now, wid);
+            note_write(rec, &pfs, submitted, now, k, raw);
         }
         let trailing = spec.total_steps().saturating_sub(n_out * spp);
         if trailing > 0 {
-            machine.begin_phase(now, JobPhase::Simulate);
+            tracer.begin(&mut machine, now, JobPhase::Simulate);
             now += SimDuration::from_secs_f64(step_secs * trailing as f64 * self.noise(&mut rng));
         }
         // The renderer reads from the parallel filesystem: wait for drains.
         let drained = buf.drained_at(now);
         if drained > now {
-            machine.begin_phase(now, JobPhase::WriteOutput);
+            tracer.begin(&mut machine, now, JobPhase::WriteOutput);
+            tracer.attr("drain_wait", AttrValue::Str("burst-buffer"));
             now = drained;
         }
-        machine.begin_phase(now, JobPhase::Visualize);
+        tracer.begin(&mut machine, now, JobPhase::Visualize);
         let render = self.config.viz_seconds_per_output * n_out as f64 * self.noise(&mut rng);
         let read = (raw * n_out) as f64 / self.config.seq_read_bandwidth_bps;
+        tracer.attr("render_seconds", AttrValue::F64(render));
+        tracer.attr("read_seconds", AttrValue::F64(read));
         now += SimDuration::from_secs_f64(render.max(read));
-        machine.begin_phase(now, JobPhase::WriteOutput);
+        tracer.begin(&mut machine, now, JobPhase::WriteOutput);
         let images: u64 = self.config.image_bytes_per_output * n_out;
+        let submitted = now;
         now = pfs
             .write(now, "/postproc-bb/images.tar", images)
             .expect("images fit");
-        machine.finish(now);
+        note_write(rec, &pfs, submitted, now, n_out, images);
+        tracer.finish(&mut machine, now);
+        rec.close(now, root);
         self.harvest(pc, machine, &pfs, now, n_out)
     }
 
@@ -262,33 +391,53 @@ impl Campaign {
         let mut rng = SimRng::new(self.config.seed);
         let mut machine = self.machine();
         let mut pfs = ParallelFileSystem::caddy_lustre();
+        let rec = &self.config.recorder;
         let spec = &pc.spec;
         let n_out = spec.num_outputs(pc.rate);
         let spp = spec.steps_per_output(pc.rate);
         let step_secs = self.cost.step_seconds(spec);
         let mut now = SimTime::ZERO;
+        let root = self.open_root(pc, now);
+        let mut tracer = PhaseTracer::new(rec);
         for k in 0..n_out {
-            machine.begin_phase(now, JobPhase::Simulate);
+            tracer.begin(&mut machine, now, JobPhase::Simulate);
             now += SimDuration::from_secs_f64(step_secs * spp as f64 * self.noise(&mut rng));
             // Catalyst render of this sample.
-            machine.begin_phase(now, JobPhase::Visualize);
+            tracer.begin(&mut machine, now, JobPhase::Visualize);
             now += SimDuration::from_secs_f64(
                 self.config.viz_seconds_per_output * self.noise(&mut rng),
             );
             // Write the image set for this sample.
-            machine.begin_phase(now, JobPhase::WriteOutput);
+            tracer.begin(&mut machine, now, JobPhase::WriteOutput);
             let path = format!("/insitu/cinema/ts_{k:06}.png");
+            let wid = rec.span(now, "pfs_write", Component::Storage);
+            rec.set_attr(
+                wid,
+                "bytes",
+                AttrValue::U64(self.config.image_bytes_per_output),
+            );
+            let submitted = now;
             now = pfs
                 .write(now, &path, self.config.image_bytes_per_output)
                 .expect("caddy rack cannot fill with images");
+            rec.close(now, wid);
+            note_write(
+                rec,
+                &pfs,
+                submitted,
+                now,
+                k,
+                self.config.image_bytes_per_output,
+            );
         }
         // Any trailing steps after the last output.
         let trailing = spec.total_steps().saturating_sub(n_out * spp);
         if trailing > 0 {
-            machine.begin_phase(now, JobPhase::Simulate);
+            tracer.begin(&mut machine, now, JobPhase::Simulate);
             now += SimDuration::from_secs_f64(step_secs * trailing as f64 * self.noise(&mut rng));
         }
-        machine.finish(now);
+        tracer.finish(&mut machine, now);
+        rec.close(now, root);
         self.harvest(pc, machine, &pfs, now, n_out)
     }
 
@@ -296,41 +445,53 @@ impl Campaign {
         let mut rng = SimRng::new(self.config.seed ^ 0x5151);
         let mut machine = self.machine();
         let mut pfs = ParallelFileSystem::caddy_lustre();
+        let rec = &self.config.recorder;
         let spec = &pc.spec;
         let n_out = spec.num_outputs(pc.rate);
         let spp = spec.steps_per_output(pc.rate);
         let step_secs = self.cost.step_seconds(spec);
         let raw = spec.raw_output_bytes();
         let mut now = SimTime::ZERO;
+        let root = self.open_root(pc, now);
+        let mut tracer = PhaseTracer::new(rec);
         // Stage 1: simulate, write raw netCDF every sample.
         for k in 0..n_out {
-            machine.begin_phase(now, JobPhase::Simulate);
+            tracer.begin(&mut machine, now, JobPhase::Simulate);
             now += SimDuration::from_secs_f64(step_secs * spp as f64 * self.noise(&mut rng));
-            machine.begin_phase(now, JobPhase::WriteOutput);
+            tracer.begin(&mut machine, now, JobPhase::WriteOutput);
             let path = format!("/postproc/raw/out_{k:06}.nc");
+            let wid = rec.span(now, "pfs_write", Component::Storage);
+            rec.set_attr(wid, "bytes", AttrValue::U64(raw));
+            let submitted = now;
             now = pfs
                 .write(now, &path, raw)
                 .expect("paper configs fit in the 7.7 TB rack");
+            rec.close(now, wid);
+            note_write(rec, &pfs, submitted, now, k, raw);
         }
         let trailing = spec.total_steps().saturating_sub(n_out * spp);
         if trailing > 0 {
-            machine.begin_phase(now, JobPhase::Simulate);
+            tracer.begin(&mut machine, now, JobPhase::Simulate);
             now += SimDuration::from_secs_f64(step_secs * trailing as f64 * self.noise(&mut rng));
         }
         // Stage 2: read back and render every sample. Rendering overlaps the
         // sequential read; the slower of the two bounds the phase.
-        machine.begin_phase(now, JobPhase::Visualize);
-        let render =
-            self.config.viz_seconds_per_output * n_out as f64 * self.noise(&mut rng);
+        tracer.begin(&mut machine, now, JobPhase::Visualize);
+        let render = self.config.viz_seconds_per_output * n_out as f64 * self.noise(&mut rng);
         let read = (raw * n_out) as f64 / self.config.seq_read_bandwidth_bps;
+        tracer.attr("render_seconds", AttrValue::F64(render));
+        tracer.attr("read_seconds", AttrValue::F64(read));
         now += SimDuration::from_secs_f64(render.max(read));
         // The rendering stage saves its images too.
-        machine.begin_phase(now, JobPhase::WriteOutput);
+        tracer.begin(&mut machine, now, JobPhase::WriteOutput);
         let images: u64 = self.config.image_bytes_per_output * n_out;
+        let submitted = now;
         now = pfs
             .write(now, "/postproc/images.tar", images)
             .expect("images fit");
-        machine.finish(now);
+        note_write(rec, &pfs, submitted, now, n_out, images);
+        tracer.finish(&mut machine, now);
+        rec.close(now, root);
         self.harvest(pc, machine, &pfs, now, n_out)
     }
 }
@@ -430,8 +591,7 @@ mod tests {
     #[test]
     fn phase_decomposition_sums_to_total() {
         let m = run(PipelineKind::PostProcessing, 24.0);
-        let parts =
-            m.t_sim.as_secs_f64() + m.t_io.as_secs_f64() + m.t_viz.as_secs_f64();
+        let parts = m.t_sim.as_secs_f64() + m.t_io.as_secs_f64() + m.t_viz.as_secs_f64();
         assert!(
             (parts - m.execution_time.as_secs_f64()).abs() < 1e-6,
             "phases {parts} vs total {}",
@@ -467,10 +627,8 @@ mod tests {
     #[test]
     fn noisy_campaign_stays_close_to_exact() {
         let exact = run(PipelineKind::InSitu, 8.0);
-        let noisy =
-            Campaign::paper_noisy(3).run(&PipelineConfig::paper(PipelineKind::InSitu, 8.0));
-        let rel = (noisy.execution_time.as_secs_f64() - exact.execution_time.as_secs_f64())
-            .abs()
+        let noisy = Campaign::paper_noisy(3).run(&PipelineConfig::paper(PipelineKind::InSitu, 8.0));
+        let rel = (noisy.execution_time.as_secs_f64() - exact.execution_time.as_secs_f64()).abs()
             / exact.execution_time.as_secs_f64();
         assert!(rel < 0.02, "noise should be mild: rel={rel}");
     }
@@ -484,8 +642,7 @@ mod tests {
         for cages in [5usize, 15, 45] {
             let campaign = Campaign::scaled_caddy(cages);
             let insitu = campaign.run(&PipelineConfig::paper(PipelineKind::InSitu, 8.0));
-            let post =
-                campaign.run(&PipelineConfig::paper(PipelineKind::PostProcessing, 8.0));
+            let post = campaign.run(&PipelineConfig::paper(PipelineKind::PostProcessing, 8.0));
             let c = compare(&insitu, &post);
             savings.push(c.energy_saving_pct);
             // Storage footprint is machine-independent.
@@ -501,9 +658,7 @@ mod tests {
     fn scaled_caddy_15_matches_paper_campaign() {
         let a = Campaign::paper().run(&PipelineConfig::paper(PipelineKind::InSitu, 8.0));
         let b = Campaign::scaled_caddy(15).run(&PipelineConfig::paper(PipelineKind::InSitu, 8.0));
-        assert!(
-            (a.execution_time.as_secs_f64() - b.execution_time.as_secs_f64()).abs() < 1e-6
-        );
+        assert!((a.execution_time.as_secs_f64() - b.execution_time.as_secs_f64()).abs() < 1e-6);
         assert!((a.avg_power_total().watts() - b.avg_power_total().watts()).abs() < 1.0);
     }
 
@@ -526,8 +681,7 @@ mod tests {
         // path before visualization), and the footprint is unchanged.
         let insitu = campaign.run(&PipelineConfig::paper(PipelineKind::InSitu, 8.0));
         assert!(
-            buffered.execution_time.as_secs_f64()
-                > insitu.execution_time.as_secs_f64() + 300.0
+            buffered.execution_time.as_secs_f64() > insitu.execution_time.as_secs_f64() + 300.0
         );
         assert_eq!(buffered.storage_bytes, plain.storage_bytes);
     }

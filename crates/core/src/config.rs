@@ -63,7 +63,10 @@ mod tests {
     fn paper_matrix_has_six_configs() {
         let m = PipelineConfig::paper_matrix();
         assert_eq!(m.len(), 6);
-        assert_eq!(m.iter().filter(|c| c.kind == PipelineKind::InSitu).count(), 3);
+        assert_eq!(
+            m.iter().filter(|c| c.kind == PipelineKind::InSitu).count(),
+            3
+        );
         let rates: Vec<f64> = m.iter().map(|c| c.rate.every_hours).collect();
         assert_eq!(&rates[..3], &[8.0, 24.0, 72.0]);
     }

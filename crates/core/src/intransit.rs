@@ -81,8 +81,7 @@ impl Campaign {
         for k in 0..n_out {
             // Simulate the chunk; staging renders the previous sample (if
             // still busy) in parallel.
-            let chunk =
-                SimDuration::from_secs_f64(step_secs * spp as f64 * self.noise(&mut rng));
+            let chunk = SimDuration::from_secs_f64(step_secs * spp as f64 * self.noise(&mut rng));
             if staging_free > now {
                 machine.begin_split_phase(now, staging, JobPhase::Simulate, JobPhase::Visualize);
                 if staging_free < now + chunk {
@@ -101,19 +100,13 @@ impl Campaign {
             // Hand-off: compute must wait until staging is free (synchronous
             // staging, single in-flight sample). Ranks busy-wait.
             if staging_free > now {
-                machine.begin_split_phase(
-                    now,
-                    staging,
-                    JobPhase::WriteOutput,
-                    JobPhase::Visualize,
-                );
+                machine.begin_split_phase(now, staging, JobPhase::WriteOutput, JobPhase::Visualize);
                 now = staging_free;
             }
             machine.begin_split_phase(now, staging, JobPhase::WriteOutput, JobPhase::WriteOutput);
             now += transfer;
             // Staging renders this sample and writes its images.
-            let render =
-                SimDuration::from_secs_f64(staging_viz_secs * self.noise(&mut rng));
+            let render = SimDuration::from_secs_f64(staging_viz_secs * self.noise(&mut rng));
             let render_done = now + render;
             let image_done = pfs
                 .write(
@@ -128,9 +121,7 @@ impl Campaign {
         let trailing = spec.total_steps().saturating_sub(n_out * spp);
         if trailing > 0 {
             machine.begin_split_phase(now, staging, JobPhase::Simulate, JobPhase::Idle);
-            now += SimDuration::from_secs_f64(
-                step_secs * trailing as f64 * self.noise(&mut rng),
-            );
+            now += SimDuration::from_secs_f64(step_secs * trailing as f64 * self.noise(&mut rng));
         }
         if staging_free > now {
             machine.begin_split_phase(now, staging, JobPhase::Idle, JobPhase::Visualize);

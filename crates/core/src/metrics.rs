@@ -76,7 +76,14 @@ impl PipelineMetrics {
 }
 
 /// Percentage saving of `a` relative to `b`: `(b − a) / b × 100`.
+///
+/// A zero (or non-finite) baseline has no meaningful percentage — return
+/// 0 % rather than the `inf`/`NaN` that would otherwise leak into every
+/// downstream comparison row.
 fn saving_pct(a: f64, b: f64) -> f64 {
+    if b == 0.0 || !b.is_finite() || !a.is_finite() {
+        return 0.0;
+    }
     (b - a) / b * 100.0
 }
 
@@ -101,7 +108,11 @@ pub struct PipelineComparison {
 /// # Panics
 /// Panics if the runs' kinds or rates do not line up.
 pub fn compare(insitu: &PipelineMetrics, post: &PipelineMetrics) -> PipelineComparison {
-    assert_eq!(insitu.kind, PipelineKind::InSitu, "first arg must be in-situ");
+    assert_eq!(
+        insitu.kind,
+        PipelineKind::InSitu,
+        "first arg must be in-situ"
+    );
     assert_eq!(
         post.kind,
         PipelineKind::PostProcessing,
@@ -117,14 +128,8 @@ pub fn compare(insitu: &PipelineMetrics, post: &PipelineMetrics) -> PipelineComp
             insitu.execution_time.as_secs_f64(),
             post.execution_time.as_secs_f64(),
         ),
-        energy_saving_pct: saving_pct(
-            insitu.energy_total().joules(),
-            post.energy_total().joules(),
-        ),
-        storage_reduction_pct: saving_pct(
-            insitu.storage_bytes as f64,
-            post.storage_bytes as f64,
-        ),
+        energy_saving_pct: saving_pct(insitu.energy_total().joules(), post.energy_total().joules()),
+        storage_reduction_pct: saving_pct(insitu.storage_bytes as f64, post.storage_bytes as f64),
         power_delta: insitu.avg_power_total() - post.avg_power_total(),
     }
 }
@@ -192,12 +197,39 @@ mod tests {
     #[test]
     fn comparison_reproduces_headline_shape() {
         let insitu = metrics(PipelineKind::InSitu, 1261, 600_000_000, 44_000.0);
-        let post = metrics(PipelineKind::PostProcessing, 2573, 230_000_000_000, 44_000.0);
+        let post = metrics(
+            PipelineKind::PostProcessing,
+            2573,
+            230_000_000_000,
+            44_000.0,
+        );
         let c = compare(&insitu, &post);
-        assert!((c.time_saving_pct - 51.0).abs() < 1.0, "{}", c.time_saving_pct);
+        assert!(
+            (c.time_saving_pct - 51.0).abs() < 1.0,
+            "{}",
+            c.time_saving_pct
+        );
         assert!((c.energy_saving_pct - 51.0).abs() < 1.0);
         assert!(c.storage_reduction_pct > 99.5);
         assert!(c.power_delta.watts().abs() < 1.0);
+    }
+
+    #[test]
+    fn saving_pct_guards_degenerate_baselines() {
+        assert_eq!(saving_pct(50.0, 100.0), 50.0);
+        assert_eq!(saving_pct(150.0, 100.0), -50.0);
+        // Zero baseline: no sensible percentage, not inf/NaN.
+        assert_eq!(saving_pct(10.0, 0.0), 0.0);
+        assert_eq!(saving_pct(0.0, 0.0), 0.0);
+        assert_eq!(saving_pct(10.0, f64::NAN), 0.0);
+        assert_eq!(saving_pct(f64::INFINITY, 100.0), 0.0);
+        // A zero-storage comparison flows through compare() finitely.
+        let insitu = metrics(PipelineKind::InSitu, 100, 0, 1000.0);
+        let mut post = metrics(PipelineKind::PostProcessing, 200, 0, 1000.0);
+        post.rate_hours = 8.0;
+        let c = compare(&insitu, &post);
+        assert_eq!(c.storage_reduction_pct, 0.0);
+        assert!(c.time_saving_pct.is_finite());
     }
 
     #[test]

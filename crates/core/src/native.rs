@@ -10,14 +10,17 @@
 
 use std::time::{Duration, Instant};
 
+use ivis_cluster::JobPhase;
 use ivis_eddy::census::{frame_census, FrameCensus};
 use ivis_eddy::features::extract_features;
 use ivis_eddy::segment::segment_eddies;
 use ivis_eddy::tracking::{EddyTracker, Track};
+use ivis_obs::{AttrValue, Component, Recorder, SpanId};
 use ivis_ocean::grid::Grid;
 use ivis_ocean::shallow_water::{ShallowWaterModel, SwParams};
 use ivis_ocean::vortex::seed_random_eddies;
 use ivis_ocean::Field2D;
+use ivis_sim::SimTime;
 use ivis_storage::ncdf::{NcFile, VarData};
 use ivis_viz::render::FieldRenderer;
 use ivis_viz::CinemaDatabase;
@@ -130,6 +133,39 @@ impl NativeReport {
     }
 }
 
+/// Maps the native backend's wall-clock measurements onto a gap-free
+/// virtual [`SimTime`] axis (t = accumulated measured wall time), so the
+/// same trace schema, Gantt renderer and timeline tooling work on real
+/// runs. Phase spans are recorded after the fact, once their duration is
+/// known.
+struct WallTracer<'a> {
+    rec: &'a Recorder,
+    elapsed: Duration,
+}
+
+impl<'a> WallTracer<'a> {
+    fn new(rec: &'a Recorder) -> Self {
+        WallTracer {
+            rec,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime::from_secs_f64(self.elapsed.as_secs_f64())
+    }
+
+    /// Record that `phase` just ran for `took` of wall time.
+    fn phase(&mut self, phase: JobPhase, took: Duration) {
+        let start = self.now();
+        self.elapsed += took;
+        if self.rec.is_on() {
+            let id = self.rec.phase_span(start, phase, Component::Native);
+            self.rec.close(self.now(), id);
+        }
+    }
+}
+
 fn tracker_for(grid: &Grid) -> EddyTracker {
     let (lx, _) = grid.extent();
     // Gate: eddies drift slowly; half a basin-width per frame is plenty.
@@ -166,14 +202,49 @@ fn visualize_frame(
     frame_census(&feats)
 }
 
+/// Open the native backend's root span with the run's shape.
+fn open_native_root(rec: &Recorder, cfg: &NativeConfig, kind: &'static str) -> SpanId {
+    let root = rec.span(SimTime::ZERO, "native", Component::Native);
+    rec.set_attr(root, "kind", AttrValue::Str(kind));
+    rec.set_attr(root, "nx", AttrValue::U64(cfg.nx as u64));
+    rec.set_attr(root, "ny", AttrValue::U64(cfg.ny as u64));
+    rec.set_attr(root, "steps", AttrValue::U64(cfg.steps));
+    root
+}
+
+/// Record one rendered frame: event plus frame/eddy counters.
+fn note_frame(rec: &Recorder, t: SimTime, frame: u64, census: &FrameCensus) {
+    if !rec.is_on() {
+        return;
+    }
+    rec.event(
+        t,
+        "frame_rendered",
+        Component::Viz,
+        &[
+            ("frame", AttrValue::U64(frame)),
+            ("eddies", AttrValue::U64(census.count as u64)),
+        ],
+    );
+    rec.counter_add(t, "native.frames", 1.0);
+}
+
 /// Run the in-situ pipeline natively: simulate, adapt, render and track in
 /// place; only images are "written".
 pub fn run_native_insitu(cfg: &NativeConfig) -> NativeReport {
+    run_native_insitu_with(cfg, &Recorder::off())
+}
+
+/// [`run_native_insitu`] with a trace recorder: wall-clock phase timings
+/// are replayed as spans on a virtual sim-time axis.
+pub fn run_native_insitu_with(cfg: &NativeConfig, rec: &Recorder) -> NativeReport {
     let mut model = cfg.build_model();
     let mut adaptor = CatalystAdaptor::new();
     let renderer = FieldRenderer::okubo_weiss(cfg.image_width, cfg.image_height);
     let mut cinema = CinemaDatabase::new("insitu-eddies");
     let mut tracker = tracker_for(model.grid());
+    let root = open_native_root(rec, cfg, "insitu");
+    let mut wtr = WallTracer::new(rec);
     let mut wall_sim = Duration::ZERO;
     let mut wall_viz = Duration::ZERO;
     let mut frames = 0u64;
@@ -183,7 +254,9 @@ pub fn run_native_insitu(cfg: &NativeConfig) -> NativeReport {
         let chunk = cfg.output_every.min(cfg.steps - step);
         let t0 = Instant::now();
         model.run(chunk);
-        wall_sim += t0.elapsed();
+        let d_sim = t0.elapsed();
+        wall_sim += d_sim;
+        wtr.phase(JobPhase::Simulate, d_sim);
         step += chunk;
         let t1 = Instant::now();
         let snap = adaptor.adapt(&model);
@@ -196,10 +269,17 @@ pub fn run_native_insitu(cfg: &NativeConfig) -> NativeReport {
             frames,
             cfg.annotate,
         );
-        wall_viz += t1.elapsed();
+        let d_viz = t1.elapsed();
+        wall_viz += d_viz;
+        wtr.phase(JobPhase::Visualize, d_viz);
+        note_frame(rec, wtr.now(), frames, &census);
         frames += 1;
     }
     let image_bytes = cinema.total_bytes();
+    if rec.is_on() {
+        rec.counter_add(wtr.now(), "native.image_bytes", image_bytes as f64);
+    }
+    rec.close(wtr.now(), root);
     NativeReport {
         frames,
         wall_sim,
@@ -263,8 +343,17 @@ fn decode_raw(bytes: &[u8]) -> VizSnapshot {
 /// Run the post-processing pipeline natively: simulate and write raw ncdf
 /// every sample; afterwards read everything back, render and track.
 pub fn run_native_postproc(cfg: &NativeConfig) -> NativeReport {
+    run_native_postproc_with(cfg, &Recorder::off())
+}
+
+/// [`run_native_postproc`] with a trace recorder. Raw-file encodes are
+/// traced as write phases and the stage-2 decodes as read phases, so the
+/// exported timeline shows the paper's two-stage structure.
+pub fn run_native_postproc_with(cfg: &NativeConfig, rec: &Recorder) -> NativeReport {
     let mut model = cfg.build_model();
     let mut adaptor = CatalystAdaptor::new();
+    let root = open_native_root(rec, cfg, "postproc");
+    let mut wtr = WallTracer::new(rec);
     let mut wall_sim = Duration::ZERO;
     let mut wall_io = Duration::ZERO;
     let mut store: Vec<Vec<u8>> = Vec::new();
@@ -274,12 +363,20 @@ pub fn run_native_postproc(cfg: &NativeConfig) -> NativeReport {
         let chunk = cfg.output_every.min(cfg.steps - step);
         let t0 = Instant::now();
         model.run(chunk);
-        wall_sim += t0.elapsed();
+        let d_sim = t0.elapsed();
+        wall_sim += d_sim;
+        wtr.phase(JobPhase::Simulate, d_sim);
         step += chunk;
         let t1 = Instant::now();
         let snap = adaptor.adapt(&model);
         store.push(encode_raw(&snap));
-        wall_io += t1.elapsed();
+        let d_io = t1.elapsed();
+        wall_io += d_io;
+        wtr.phase(JobPhase::WriteOutput, d_io);
+        if rec.is_on() {
+            let bytes = store.last().map_or(0, |b| b.len() as u64);
+            rec.counter_add(wtr.now(), "native.raw_bytes", bytes as f64);
+        }
     }
     let raw_bytes: u64 = store.iter().map(|b| b.len() as u64).sum();
     // Stage 2: read back, render, track.
@@ -291,7 +388,9 @@ pub fn run_native_postproc(cfg: &NativeConfig) -> NativeReport {
     for (frame, bytes) in store.iter().enumerate() {
         let t0 = Instant::now();
         let snap = decode_raw(bytes);
-        wall_io += t0.elapsed();
+        let d_read = t0.elapsed();
+        wall_io += d_read;
+        wtr.phase(JobPhase::ReadInput, d_read);
         let t1 = Instant::now();
         census = visualize_frame(
             &renderer,
@@ -302,9 +401,16 @@ pub fn run_native_postproc(cfg: &NativeConfig) -> NativeReport {
             frame as u64,
             cfg.annotate,
         );
-        wall_viz += t1.elapsed();
+        let d_viz = t1.elapsed();
+        wall_viz += d_viz;
+        wtr.phase(JobPhase::Visualize, d_viz);
+        note_frame(rec, wtr.now(), frame as u64, &census);
     }
     let image_bytes = cinema.total_bytes();
+    if rec.is_on() {
+        rec.counter_add(wtr.now(), "native.image_bytes", image_bytes as f64);
+    }
+    rec.close(wtr.now(), root);
     NativeReport {
         frames: store.len() as u64,
         wall_sim,

@@ -34,9 +34,11 @@ pub fn frame_census(detections: &[EddyFeature]) -> FrameCensus {
     }
     FrameCensus {
         count: detections.len(),
-        mean_radius_m: detections.iter().map(|d| d.radius_m).sum::<f64>()
-            / detections.len() as f64,
-        strongest_w: detections.iter().map(|d| d.w_min).fold(f64::INFINITY, f64::min),
+        mean_radius_m: detections.iter().map(|d| d.radius_m).sum::<f64>() / detections.len() as f64,
+        strongest_w: detections
+            .iter()
+            .map(|d| d.w_min)
+            .fold(f64::INFINITY, f64::min),
         total_area_m2: detections.iter().map(|d| d.area_m2).sum(),
     }
 }
@@ -69,8 +71,7 @@ pub fn track_census(tracks: &[Track], lx: f64) -> TrackCensus {
         count: tracks.len(),
         mean_lifetime_frames: lifetimes.iter().sum::<u64>() as f64 / tracks.len() as f64,
         max_lifetime_frames: *lifetimes.iter().max().expect("non-empty"),
-        mean_path_m: tracks.iter().map(|t| t.path_length(lx)).sum::<f64>()
-            / tracks.len() as f64,
+        mean_path_m: tracks.iter().map(|t| t.path_length(lx)).sum::<f64>() / tracks.len() as f64,
     }
 }
 

@@ -30,7 +30,11 @@ pub struct EddyFeature {
 
 /// Extract features for every component of a segmentation.
 pub fn extract_features(grid: &Grid, w: &Field2D, seg: &Segmentation) -> Vec<EddyFeature> {
-    assert_eq!((seg.nx, seg.ny), (grid.nx, grid.ny), "segmentation/grid mismatch");
+    assert_eq!(
+        (seg.nx, seg.ny),
+        (grid.nx, grid.ny),
+        "segmentation/grid mismatch"
+    );
     let n = seg.num_components;
     if n == 0 {
         return Vec::new();

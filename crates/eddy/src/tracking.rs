@@ -105,7 +105,11 @@ impl EddyTracker {
         // Build candidate (distance, track_idx, det_idx) pairs inside the gate.
         let mut candidates: Vec<(f64, usize, usize)> = Vec::new();
         for (ti, track) in self.live.iter().enumerate() {
-            let last = &track.points.last().expect("live tracks are non-empty").feature;
+            let last = &track
+                .points
+                .last()
+                .expect("live tracks are non-empty")
+                .feature;
             for (di, det) in detections.iter().enumerate() {
                 let d = periodic_distance(last, det, self.lx);
                 if d <= self.gate_m {
@@ -143,7 +147,10 @@ impl EddyTracker {
                 det_assigned[di] = Some(id);
             }
         }
-        det_assigned.into_iter().map(|x| x.expect("all assigned")).collect()
+        det_assigned
+            .into_iter()
+            .map(|x| x.expect("all assigned"))
+            .collect()
     }
 
     /// Close all live tracks and return everything, ordered by id.

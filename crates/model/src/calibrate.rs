@@ -84,7 +84,11 @@ mod tests {
     #[test]
     fn paper_calibration_recovers_published_constants() {
         let model = calibrate_exact(&paper_points(), 8640).unwrap();
-        assert!((model.t_sim_ref - 603.0).abs() < 2.0, "t_sim = {}", model.t_sim_ref);
+        assert!(
+            (model.t_sim_ref - 603.0).abs() < 2.0,
+            "t_sim = {}",
+            model.t_sim_ref
+        );
         assert!((model.alpha - 6.3).abs() < 0.15, "alpha = {}", model.alpha);
         assert!((model.beta - 1.2).abs() < 0.05, "beta = {}", model.beta);
     }

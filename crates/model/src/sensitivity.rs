@@ -73,13 +73,7 @@ pub fn raw_size_breakeven_gb(model: &PerfModel, insitu_extra_beta: f64) -> f64 {
 /// Finite-difference check of the model's linearity: predicted time after
 /// scaling a parameter by `factor` versus the elasticity-based first-order
 /// estimate. Returns `(exact, first_order)` for testing and documentation.
-pub fn perturb_alpha(
-    model: &PerfModel,
-    iter: u64,
-    s_gb: f64,
-    n: f64,
-    factor: f64,
-) -> (f64, f64) {
+pub fn perturb_alpha(model: &PerfModel, iter: u64, s_gb: f64, n: f64, factor: f64) -> (f64, f64) {
     let base = model.predict_seconds(iter, s_gb, n);
     let mut scaled = *model;
     scaled.alpha *= factor;

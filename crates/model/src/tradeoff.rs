@@ -135,7 +135,12 @@ mod tests {
         for h in CANDIDATES {
             let a = p.evaluate(PipelineKind::InSitu, &spec, h);
             let b = p.evaluate(PipelineKind::PostProcessing, &spec, h);
-            assert!(a.dollars < b.dollars, "at {h} h: {} vs {}", a.dollars, b.dollars);
+            assert!(
+                a.dollars < b.dollars,
+                "at {h} h: {} vs {}",
+                a.dollars,
+                b.dollars
+            );
         }
     }
 

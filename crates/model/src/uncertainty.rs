@@ -89,8 +89,7 @@ pub fn bootstrap_calibration(
     assert!(replicates >= 10, "need a sensible replicate count");
     assert!((0.5..1.0).contains(&level), "level must be in [0.5, 1)");
     assert!(noise_rel >= 0.0, "noise must be non-negative");
-    let point_fit =
-        calibrate_exact(points, iter_ref).expect("base calibration must be solvable");
+    let point_fit = calibrate_exact(points, iter_ref).expect("base calibration must be solvable");
     let mut rng = SimRng::new(seed);
     let mut t_sims = Vec::with_capacity(replicates);
     let mut alphas = Vec::with_capacity(replicates);
@@ -127,6 +126,7 @@ fn perturb(p: CalibrationPoint, rng: &mut SimRng, noise_rel: f64) -> Calibration
 /// Propagate calibration uncertainty into a what-if prediction: the interval
 /// on the predicted execution time at `(iter, s_gb, n_viz)` under the same
 /// bootstrap.
+#[allow(clippy::too_many_arguments)]
 pub fn bootstrap_prediction(
     points: &[CalibrationPoint; 3],
     iter_ref: u64,
@@ -138,8 +138,7 @@ pub fn bootstrap_prediction(
     s_gb: f64,
     n_viz: f64,
 ) -> Interval {
-    let point_fit =
-        calibrate_exact(points, iter_ref).expect("base calibration must be solvable");
+    let point_fit = calibrate_exact(points, iter_ref).expect("base calibration must be solvable");
     let mut rng = SimRng::new(seed);
     let mut preds = Vec::with_capacity(replicates);
     for _ in 0..replicates {
@@ -188,9 +187,21 @@ mod tests {
         // two equations each); α is looser because only one calibration
         // point carries real I/O volume.
         let u = paper_uncertainty();
-        assert!(u.t_sim.rel_halfwidth() < 0.02, "t_sim ± {:.3}", u.t_sim.rel_halfwidth());
-        assert!(u.beta.rel_halfwidth() < 0.05, "beta ± {:.3}", u.beta.rel_halfwidth());
-        assert!(u.alpha.rel_halfwidth() < 0.10, "alpha ± {:.3}", u.alpha.rel_halfwidth());
+        assert!(
+            u.t_sim.rel_halfwidth() < 0.02,
+            "t_sim ± {:.3}",
+            u.t_sim.rel_halfwidth()
+        );
+        assert!(
+            u.beta.rel_halfwidth() < 0.05,
+            "beta ± {:.3}",
+            u.beta.rel_halfwidth()
+        );
+        assert!(
+            u.alpha.rel_halfwidth() < 0.10,
+            "alpha ± {:.3}",
+            u.alpha.rel_halfwidth()
+        );
         // And the paper's published constants fall inside the intervals.
         assert!(u.t_sim.contains(603.0));
         assert!(u.alpha.contains(6.3));

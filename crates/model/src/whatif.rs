@@ -72,7 +72,8 @@ impl WhatIfAnalyzer {
     ) -> f64 {
         let n = spec.num_outputs(rate);
         let s_gb = (n * self.bytes_per_output(kind)) as f64 / 1e9;
-        self.model.predict_seconds(spec.total_steps(), s_gb, n as f64)
+        self.model
+            .predict_seconds(spec.total_steps(), s_gb, n as f64)
     }
 
     /// Predicted energy (Fig. 10's y-axis).
@@ -83,7 +84,9 @@ impl WhatIfAnalyzer {
     /// Energy saving of in-situ over post-processing at `rate`, percent.
     pub fn energy_saving_pct(&self, spec: &ProblemSpec, rate: SamplingRate) -> f64 {
         let e_in = self.energy(PipelineKind::InSitu, spec, rate).joules();
-        let e_post = self.energy(PipelineKind::PostProcessing, spec, rate).joules();
+        let e_post = self
+            .energy(PipelineKind::PostProcessing, spec, rate)
+            .joules();
         (e_post - e_in) / e_post * 100.0
     }
 
@@ -150,8 +153,8 @@ impl WhatIfAnalyzer {
         if budget_secs <= t_sim {
             return None; // even zero outputs blow the budget
         }
-        let per_output_secs = self.model.alpha * self.bytes_per_output(kind) as f64 / 1e9
-            + self.model.beta;
+        let per_output_secs =
+            self.model.alpha * self.bytes_per_output(kind) as f64 / 1e9 + self.model.beta;
         let max_outputs = (budget_secs - t_sim) / per_output_secs;
         Some(spec.duration_hours / max_outputs)
     }
@@ -194,8 +197,7 @@ mod tests {
     fn fig9_post_daily_exceeds_budget() {
         let a = WhatIfAnalyzer::paper();
         let spec = ProblemSpec::paper_100yr();
-        let daily =
-            a.storage_bytes(PipelineKind::PostProcessing, &spec, SamplingRate::daily());
+        let daily = a.storage_bytes(PipelineKind::PostProcessing, &spec, SamplingRate::daily());
         assert!(daily > 15 * TB, "paper: ~15.5 TB; got {daily}");
     }
 
@@ -230,10 +232,17 @@ mod tests {
     fn energy_curve_converges_to_t_sim_floor() {
         let a = WhatIfAnalyzer::paper();
         let spec = ProblemSpec::paper_100yr();
-        let sparse = a.energy(PipelineKind::PostProcessing, &spec, SamplingRate::every_hours(8760.0));
+        let sparse = a.energy(
+            PipelineKind::PostProcessing,
+            &spec,
+            SamplingRate::every_hours(8760.0),
+        );
         let t_sim_energy = a.power.watts() * (spec.total_steps() as f64 / 8640.0 * 603.0);
         let ratio = sparse.joules() / t_sim_energy;
-        assert!(ratio < 1.05, "sparse sampling approaches the sim-only floor");
+        assert!(
+            ratio < 1.05,
+            "sparse sampling approaches the sim-only floor"
+        );
     }
 
     #[test]

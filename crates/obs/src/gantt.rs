@@ -1,0 +1,254 @@
+//! ASCII Gantt/timeline rendering — the terminal analogue of Fig. 4.
+//!
+//! [`render_timeline`] draws one row per [`JobPhase`] with `#` marking
+//! buckets the phase dominates, plus a combined strip of phase initials.
+//! [`render_fig4`] adds compute and storage power rows (digits 0–9 scaled
+//! to the peak), which is exactly the information content of the paper's
+//! Fig. 4 power-profile plot.
+
+use ivis_cluster::{JobPhase, PhaseTimeline};
+use ivis_power::profile::PowerProfile;
+use ivis_sim::SimTime;
+
+use crate::energy::PHASE_ORDER;
+
+fn phase_initial(phase: JobPhase) -> char {
+    match phase {
+        JobPhase::Simulate => 'S',
+        JobPhase::WriteOutput => 'W',
+        JobPhase::Visualize => 'V',
+        JobPhase::ReadInput => 'R',
+        JobPhase::Idle => 'I',
+    }
+}
+
+/// Seconds each phase occupies in each of `width` equal buckets spanning
+/// `[start, end]`. Row order follows [`PHASE_ORDER`].
+fn bucket_occupancy(timeline: &PhaseTimeline, width: usize) -> Vec<[f64; PHASE_ORDER.len()]> {
+    let mut buckets = vec![[0.0; PHASE_ORDER.len()]; width];
+    let records = timeline.records();
+    let (Some(first), Some(last)) = (records.first(), records.last()) else {
+        return buckets;
+    };
+    let t0 = first.start.as_secs_f64();
+    let t1 = last.end.as_secs_f64();
+    let span = t1 - t0;
+    if span <= 0.0 {
+        return buckets;
+    }
+    let bucket_len = span / width as f64;
+    for rec in records {
+        let p = PHASE_ORDER.iter().position(|&q| q == rec.phase).unwrap();
+        let (rs, re) = (rec.start.as_secs_f64() - t0, rec.end.as_secs_f64() - t0);
+        let first_b = ((rs / bucket_len) as usize).min(width - 1);
+        let last_b = ((re / bucket_len) as usize).min(width - 1);
+        for (b, bucket) in buckets
+            .iter_mut()
+            .enumerate()
+            .take(last_b + 1)
+            .skip(first_b)
+        {
+            let lo = (b as f64 * bucket_len).max(rs);
+            let hi = ((b + 1) as f64 * bucket_len).min(re);
+            if hi > lo {
+                bucket[p] += hi - lo;
+            }
+        }
+    }
+    buckets
+}
+
+/// Render `timeline` as an ASCII Gantt chart, `width` columns wide.
+///
+/// One row per phase that occurs: `#` where the phase dominates the
+/// bucket, `.` where it is present but not dominant. A final `phase` row
+/// shows the dominant phase's initial per bucket
+/// (`S`imulate/`W`rite/`V`isualize/`R`ead/`I`dle).
+pub fn render_timeline(timeline: &PhaseTimeline, width: usize) -> String {
+    assert!(width > 0, "timeline width must be positive");
+    let records = timeline.records();
+    let (Some(first), Some(last)) = (records.first(), records.last()) else {
+        return String::from("(empty timeline)\n");
+    };
+    let buckets = bucket_occupancy(timeline, width);
+    let mut out = format!(
+        "t = {:.1}s .. {:.1}s  ({} records, {:.1}s makespan)\n",
+        first.start.as_secs_f64(),
+        last.end.as_secs_f64(),
+        records.len(),
+        timeline.makespan().as_secs_f64()
+    );
+    for (p, &phase) in PHASE_ORDER.iter().enumerate() {
+        if timeline.time_in(phase).is_zero() {
+            continue;
+        }
+        out.push_str(&format!("{:<10} |", phase.label()));
+        for bucket in &buckets {
+            let occ = bucket[p];
+            let max = bucket.iter().cloned().fold(0.0, f64::max);
+            out.push(if occ > 0.0 && occ >= max {
+                '#'
+            } else if occ > 0.0 {
+                '.'
+            } else {
+                ' '
+            });
+        }
+        out.push_str("|\n");
+    }
+    out.push_str(&format!("{:<10} |", "phase"));
+    for bucket in &buckets {
+        let dominant = (0..PHASE_ORDER.len())
+            .filter(|&p| bucket[p] > 0.0)
+            .max_by(|&a, &b| bucket[a].total_cmp(&bucket[b]));
+        out.push(dominant.map_or(' ', |p| phase_initial(PHASE_ORDER[p])));
+    }
+    out.push_str("|\n");
+    out
+}
+
+/// Average watts drawn from `profile` in each of `width` buckets over
+/// `[t0, t1]` (seconds).
+fn power_row(profile: &PowerProfile, t0: f64, t1: f64, width: usize) -> Vec<f64> {
+    let bucket_len = (t1 - t0) / width as f64;
+    (0..width)
+        .map(|b| {
+            let lo = SimTime::from_secs_f64(t0 + b as f64 * bucket_len);
+            let hi = SimTime::from_secs_f64(t0 + (b + 1) as f64 * bucket_len);
+            if hi > lo {
+                profile.energy_between(lo, hi).joules() / (hi - lo).as_secs_f64()
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+fn digits_row(label: &str, watts: &[f64], peak: f64) -> String {
+    let mut out = format!("{label:<10} |");
+    for &w in watts {
+        let d = if peak > 0.0 {
+            ((9.0 * w / peak).round() as i64).clamp(0, 9)
+        } else {
+            0
+        };
+        out.push((b'0' + d as u8) as char);
+    }
+    out.push_str(&format!("| peak {peak:.0} W\n"));
+    out
+}
+
+/// Render the full Fig. 4 analogue: phase strip plus compute and storage
+/// power rows, each digit scaling linearly from 0 (idle) to 9 (peak).
+pub fn render_fig4(
+    timeline: &PhaseTimeline,
+    compute: &PowerProfile,
+    storage: &PowerProfile,
+    width: usize,
+) -> String {
+    let mut out = render_timeline(timeline, width);
+    let records = timeline.records();
+    let (Some(first), Some(last)) = (records.first(), records.last()) else {
+        return out;
+    };
+    let (t0, t1) = (first.start.as_secs_f64(), last.end.as_secs_f64());
+    if t1 <= t0 {
+        return out;
+    }
+    let compute_w = power_row(compute, t0, t1, width);
+    let storage_w = power_row(storage, t0, t1, width);
+    let peak_c = compute_w.iter().cloned().fold(0.0, f64::max);
+    let peak_s = storage_w.iter().cloned().fold(0.0, f64::max);
+    out.push_str(&digits_row("compute_w", &compute_w, peak_c));
+    out.push_str(&digits_row("storage_w", &storage_w, peak_s));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivis_cluster::PhaseRecord;
+    use ivis_power::meter::MeterSample;
+    use ivis_power::units::Watts;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn tl(recs: &[(JobPhase, u64, u64)]) -> PhaseTimeline {
+        let mut timeline = PhaseTimeline::new();
+        for &(phase, start, end) in recs {
+            timeline.push(PhaseRecord {
+                phase,
+                start: t(start),
+                end: t(end),
+            });
+        }
+        timeline
+    }
+
+    #[test]
+    fn renders_one_row_per_present_phase() {
+        let timeline = tl(&[
+            (JobPhase::Simulate, 0, 60),
+            (JobPhase::Visualize, 60, 70),
+            (JobPhase::WriteOutput, 70, 80),
+        ]);
+        let s = render_timeline(&timeline, 40);
+        let lines: Vec<&str> = s.lines().collect();
+        // header + simulate + write + visualize + phase strip
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].starts_with("simulate"));
+        assert!(lines[2].starts_with("write"));
+        assert!(lines[3].starts_with("visualize"));
+        assert!(lines[4].starts_with("phase"));
+        // Simulate dominates the first three quarters of the strip.
+        let strip = lines[4].split('|').nth(1).unwrap();
+        assert_eq!(strip.len(), 40);
+        assert!(strip.starts_with("SSSSSSSSSS"));
+        assert!(strip.contains('V') && strip.contains('W'));
+    }
+
+    #[test]
+    fn empty_timeline_renders_placeholder() {
+        assert_eq!(
+            render_timeline(&PhaseTimeline::new(), 10),
+            "(empty timeline)\n"
+        );
+    }
+
+    #[test]
+    fn fig4_adds_power_digit_rows() {
+        let timeline = tl(&[
+            (JobPhase::Simulate, 0, 50),
+            (JobPhase::WriteOutput, 50, 100),
+        ]);
+        let profile = |w1: f64, w2: f64| {
+            PowerProfile::from_meter_samples(
+                SimTime::ZERO,
+                vec![
+                    MeterSample {
+                        at: t(50),
+                        avg: Watts(w1),
+                    },
+                    MeterSample {
+                        at: t(100),
+                        avg: Watts(w2),
+                    },
+                ],
+            )
+        };
+        let s = render_fig4(&timeline, &profile(400.0, 100.0), &profile(10.0, 40.0), 10);
+        let lines: Vec<&str> = s.lines().collect();
+        let compute = lines.iter().find(|l| l.starts_with("compute_w")).unwrap();
+        let storage = lines.iter().find(|l| l.starts_with("storage_w")).unwrap();
+        // Compute is at peak (9) early and low late; storage the reverse.
+        let cdigits = compute.split('|').nth(1).unwrap();
+        let sdigits = storage.split('|').nth(1).unwrap();
+        assert!(cdigits.starts_with("99999"));
+        assert!(cdigits.ends_with("22222"));
+        assert!(sdigits.starts_with("22222"));
+        assert!(sdigits.ends_with("99999"));
+        assert!(compute.contains("peak 400 W"));
+    }
+}

@@ -1,0 +1,214 @@
+//! JSONL trace exporter: one record per line, stable `ivis-trace-v1` schema.
+//!
+//! The schema is deliberately frozen (and pinned by a golden-file test in
+//! `ivis-core`): line 1 is a `meta` record, followed by every span in open
+//! order, every event in record order, and every metric with its full
+//! sample series. Times are integer microseconds of sim time, matching
+//! [`SimTime`]'s internal resolution, so the export is lossless.
+//!
+//! [`SimTime`]: ivis_sim::SimTime
+
+use std::fmt::Write as _;
+
+use crate::recorder::{AttrValue, SpanId, TraceBuffer};
+
+/// Schema identifier embedded in the meta line.
+pub const SCHEMA: &str = "ivis-trace-v1";
+
+fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_attrs(out: &mut String, attrs: &[(&'static str, AttrValue)]) {
+    out.push('{');
+    for (i, (k, v)) in attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        push_escaped(out, k);
+        out.push_str("\":");
+        match *v {
+            AttrValue::U64(x) => {
+                let _ = write!(out, "{x}");
+            }
+            AttrValue::I64(x) => {
+                let _ = write!(out, "{x}");
+            }
+            AttrValue::F64(x) => push_f64(out, x),
+            AttrValue::Str(s) => {
+                out.push('"');
+                push_escaped(out, s);
+                out.push('"');
+            }
+        }
+    }
+    out.push('}');
+}
+
+fn push_span_ref(out: &mut String, id: SpanId) {
+    if id.is_none() {
+        out.push_str("null");
+    } else {
+        let _ = write!(out, "{}", id.0);
+    }
+}
+
+/// Serialize the whole buffer to JSONL.
+pub fn to_jsonl(buf: &TraceBuffer) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{{\"v\":1,\"type\":\"meta\",\"schema\":\"{}\",\"spans\":{},\"events\":{},\"metrics\":{}}}",
+        SCHEMA,
+        buf.spans().len(),
+        buf.events().len(),
+        buf.metrics.len()
+    );
+    for (id, span) in buf.spans().iter().enumerate() {
+        let _ = write!(out, "{{\"type\":\"span\",\"id\":{id},\"parent\":");
+        push_span_ref(&mut out, span.parent);
+        let _ = write!(
+            out,
+            ",\"name\":\"{}\",\"component\":\"{}\",\"phase\":",
+            span.name,
+            span.component.label()
+        );
+        match span.phase {
+            Some(p) => {
+                let _ = write!(out, "\"{}\"", p.label());
+            }
+            None => out.push_str("null"),
+        }
+        let _ = write!(out, ",\"start_us\":{},\"end_us\":", span.start.as_micros());
+        match span.end {
+            Some(t) => {
+                let _ = write!(out, "{}", t.as_micros());
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"attrs\":");
+        push_attrs(&mut out, &span.attrs);
+        out.push_str("}\n");
+    }
+    for ev in buf.events() {
+        out.push_str("{\"type\":\"event\",\"span\":");
+        push_span_ref(&mut out, ev.parent);
+        let _ = write!(
+            out,
+            ",\"name\":\"{}\",\"component\":\"{}\",\"t_us\":{},\"attrs\":",
+            ev.name,
+            ev.component.label(),
+            ev.at.as_micros()
+        );
+        push_attrs(&mut out, &ev.attrs);
+        out.push_str("}\n");
+    }
+    for metric in buf.metrics.iter() {
+        let _ = write!(
+            out,
+            "{{\"type\":\"metric\",\"name\":\"{}\",\"kind\":\"{}\",\"samples\":[",
+            metric.name(),
+            metric.kind().label()
+        );
+        for (i, &(t, v)) in metric.series().samples().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{},", t.as_micros());
+            push_f64(&mut out, v);
+            out.push(']');
+        }
+        out.push_str("]}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Component, Recorder};
+    use ivis_cluster::JobPhase;
+    use ivis_sim::SimTime;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn export_shape_matches_schema() {
+        let rec = Recorder::in_memory();
+        let root = rec.span(t(0.0), "campaign", Component::Campaign);
+        rec.set_attr(root, "kind", AttrValue::Str("insitu"));
+        let phase = rec.phase_span(t(0.0), JobPhase::Simulate, Component::Compute);
+        rec.event(
+            t(1.5),
+            "output_written",
+            Component::Storage,
+            &[("index", AttrValue::U64(0)), ("bytes", AttrValue::U64(42))],
+        );
+        rec.gauge_set(t(1.5), "pfs.utilization", 0.25);
+        rec.close(t(2.0), phase);
+        rec.close(t(2.0), root);
+
+        let text = rec.with_buffer(to_jsonl).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1 + 2 + 1 + 1);
+        assert_eq!(
+            lines[0],
+            "{\"v\":1,\"type\":\"meta\",\"schema\":\"ivis-trace-v1\",\"spans\":2,\"events\":1,\"metrics\":1}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"type\":\"span\",\"id\":0,\"parent\":null,\"name\":\"campaign\",\"component\":\"campaign\",\"phase\":null,\"start_us\":0,\"end_us\":2000000,\"attrs\":{\"kind\":\"insitu\"}}"
+        );
+        assert_eq!(
+            lines[2],
+            "{\"type\":\"span\",\"id\":1,\"parent\":0,\"name\":\"simulate\",\"component\":\"compute\",\"phase\":\"simulate\",\"start_us\":0,\"end_us\":2000000,\"attrs\":{}}"
+        );
+        assert_eq!(
+            lines[3],
+            "{\"type\":\"event\",\"span\":1,\"name\":\"output_written\",\"component\":\"storage\",\"t_us\":1500000,\"attrs\":{\"index\":0,\"bytes\":42}}"
+        );
+        assert_eq!(
+            lines[4],
+            "{\"type\":\"metric\",\"name\":\"pfs.utilization\",\"kind\":\"gauge\",\"samples\":[[1500000,0.25]]}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut out = String::new();
+        push_f64(&mut out, f64::NAN);
+        out.push(' ');
+        push_f64(&mut out, f64::INFINITY);
+        assert_eq!(out, "null null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut out = String::new();
+        push_escaped(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

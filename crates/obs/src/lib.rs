@@ -1,0 +1,42 @@
+//! Observability for the in-situ visualization pipelines.
+//!
+//! The paper this workspace reproduces is, at heart, an observability
+//! study: it instruments a coupled simulation/visualization job with power
+//! meters and phase timelines (Fig. 4) and turns the traces into a cost
+//! model (Eq. 4–5). This crate gives the reproduction the same
+//! introspection pathway:
+//!
+//! * [`recorder`] — a **sim-time-aware tracer**: spans open and close on
+//!   [`ivis_sim::SimTime`], carry a [`ivis_cluster::JobPhase`]/component
+//!   label plus key-value attributes, and nest (campaign → phase →
+//!   per-write / per-frame activity). Recording is controlled by a
+//!   [`Sink`]: with [`Sink::Off`] every hook is a branch on an enum
+//!   discriminant and returns without allocating — no `dyn` dispatch, no
+//!   external tracing dependencies.
+//! * [`metrics`] — a registry of counters and gauges stored as
+//!   [`ivis_sim::TimeSeries`] step functions, so time-weighted integrals,
+//!   averages and histograms are exact rather than sampled.
+//! * [`jsonl`], [`csv`], [`gantt`] — sinks: a stable-schema JSONL trace
+//!   exporter (one record per line), CSV renderers that plug into the
+//!   bench harness's CSV export, and an ASCII Gantt/timeline renderer (the
+//!   terminal analogue of the paper's Fig. 4 power-profile plot).
+//! * [`energy`] — the **per-phase energy attribution report**: joins a
+//!   phase timeline against the compute/storage [`PowerProfile`]s to
+//!   report joules by `JobPhase × {compute, storage}`, making the paper's
+//!   §VIII busy-wait-I/O observation (and the `IoWaitPolicy::DeepIdle`
+//!   ablation) directly inspectable.
+//!
+//! [`PowerProfile`]: ivis_power::profile::PowerProfile
+
+pub mod csv;
+pub mod energy;
+pub mod gantt;
+pub mod jsonl;
+pub mod metrics;
+pub mod recorder;
+
+pub use energy::{attribute, EnergyAttribution, PhaseEnergy};
+pub use gantt::{render_fig4, render_timeline};
+pub use jsonl::to_jsonl;
+pub use metrics::{Metric, MetricKind, MetricsRegistry, TimeWeightedHistogram};
+pub use recorder::{AttrValue, Component, Event, Recorder, Sink, Span, SpanId, TraceBuffer};

@@ -1,0 +1,278 @@
+//! Metrics registry built on [`TimeSeries`] step functions.
+//!
+//! Counters and gauges are stored as right-continuous step functions in
+//! sim time, the same representation the power meters use. That means
+//! integrals (`byte-seconds queued`), time-weighted means (`average PFS
+//! utilization`) and time-weighted histograms are *exact* over any
+//! window — there is no sampling interval to tune and no aliasing.
+
+use std::collections::HashMap;
+
+use ivis_sim::{SimTime, TimeSeries};
+
+/// How a metric's samples are produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone cumulative total; each `counter_add` pushes the running sum.
+    Counter,
+    /// Last-write-wins instantaneous value.
+    Gauge,
+}
+
+impl MetricKind {
+    /// Stable lowercase label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// One named metric: a step function plus its kind.
+#[derive(Debug)]
+pub struct Metric {
+    name: &'static str,
+    kind: MetricKind,
+    series: TimeSeries,
+    total: f64,
+}
+
+impl Metric {
+    /// Metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Counter or gauge.
+    pub fn kind(&self) -> MetricKind {
+        self.kind
+    }
+
+    /// The underlying step function (cumulative total for counters).
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+
+    /// Final cumulative total (counters) or last value (gauges).
+    pub fn last_value(&self) -> f64 {
+        self.total
+    }
+
+    /// Time-weighted mean over `[from, to]`, treating the value before
+    /// the first sample as `default`.
+    pub fn mean_over(&self, from: SimTime, to: SimTime, default: f64) -> f64 {
+        self.series.mean_over(from, to, default)
+    }
+}
+
+/// Registry of counters and gauges, addressed by static name.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Vec<Metric>,
+    index: HashMap<&'static str, usize>,
+}
+
+impl MetricsRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn slot(&mut self, name: &'static str, kind: MetricKind) -> &mut Metric {
+        let idx = *self.index.entry(name).or_insert_with(|| {
+            self.metrics.push(Metric {
+                name,
+                kind,
+                series: TimeSeries::new(),
+                total: 0.0,
+            });
+            self.metrics.len() - 1
+        });
+        let m = &mut self.metrics[idx];
+        assert_eq!(
+            m.kind, kind,
+            "metric '{name}' registered as {:?}, used as {kind:?}",
+            m.kind
+        );
+        m
+    }
+
+    /// Add `delta` to the counter `name` at time `t`, recording the new
+    /// cumulative total as a step.
+    pub fn counter_add(&mut self, t: SimTime, name: &'static str, delta: f64) {
+        let m = self.slot(name, MetricKind::Counter);
+        m.total += delta;
+        let total = m.total;
+        m.series.push(t, total);
+    }
+
+    /// Set the gauge `name` to `value` at time `t`.
+    pub fn gauge_set(&mut self, t: SimTime, name: &'static str, value: f64) {
+        let m = self.slot(name, MetricKind::Gauge);
+        m.total = value;
+        m.series.push(t, value);
+    }
+
+    /// Look up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.index.get(name).map(|&i| &self.metrics[i])
+    }
+
+    /// All metrics, in first-use order.
+    pub fn iter(&self) -> impl Iterator<Item = &Metric> {
+        self.metrics.iter()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether no metric has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+}
+
+/// Time-weighted histogram of a step function over a window.
+///
+/// Bucket `i` holds the number of seconds the value sat in
+/// `(bounds[i-1], bounds[i]]` (bucket 0 is `(-inf, bounds[0]]`, the last
+/// bucket is `(bounds.last(), +inf)`). Because the input is a step
+/// function, the seconds are exact.
+#[derive(Debug, Clone)]
+pub struct TimeWeightedHistogram {
+    bounds: Vec<f64>,
+    seconds: Vec<f64>,
+    total_seconds: f64,
+}
+
+impl TimeWeightedHistogram {
+    /// Build from `series` over `[from, to]`, using `default` for the
+    /// value before the first sample and `bounds` as ascending bucket
+    /// upper bounds.
+    pub fn from_series(
+        series: &TimeSeries,
+        from: SimTime,
+        to: SimTime,
+        default: f64,
+        bounds: &[f64],
+    ) -> Self {
+        assert!(to >= from, "histogram window end precedes start");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let mut hist = TimeWeightedHistogram {
+            bounds: bounds.to_vec(),
+            seconds: vec![0.0; bounds.len() + 1],
+            total_seconds: 0.0,
+        };
+        let mut cursor = from;
+        let mut value = series.value_at(from, default);
+        for &(t, v) in series.samples() {
+            if t <= from {
+                continue;
+            }
+            if t >= to {
+                break;
+            }
+            hist.deposit(value, (t - cursor).as_secs_f64());
+            cursor = t;
+            value = v;
+        }
+        hist.deposit(value, (to - cursor).as_secs_f64());
+        hist
+    }
+
+    fn deposit(&mut self, value: f64, seconds: f64) {
+        if seconds <= 0.0 {
+            return;
+        }
+        let bucket = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.seconds[bucket] += seconds;
+        self.total_seconds += seconds;
+    }
+
+    /// Ascending bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Seconds spent in each bucket (`bounds.len() + 1` entries).
+    pub fn bucket_seconds(&self) -> &[f64] {
+        &self.seconds
+    }
+
+    /// Total seconds covered by the window.
+    pub fn total_seconds(&self) -> f64 {
+        self.total_seconds
+    }
+
+    /// Fraction of the window spent in bucket `i` (0 if the window is empty).
+    pub fn fraction(&self, i: usize) -> f64 {
+        if self.total_seconds > 0.0 {
+            self.seconds[i] / self.total_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn counter_accumulates_cumulative_total() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add(t(0.0), "outputs", 1.0);
+        reg.counter_add(t(10.0), "outputs", 1.0);
+        reg.counter_add(t(20.0), "outputs", 3.0);
+        let m = reg.get("outputs").unwrap();
+        assert_eq!(m.kind(), MetricKind::Counter);
+        assert_eq!(m.last_value(), 5.0);
+        assert_eq!(m.series().value_at(t(15.0), 0.0), 2.0);
+    }
+
+    #[test]
+    fn gauge_is_last_write_wins_step_function() {
+        let mut reg = MetricsRegistry::new();
+        reg.gauge_set(t(0.0), "util", 0.0);
+        reg.gauge_set(t(10.0), "util", 1.0);
+        reg.gauge_set(t(30.0), "util", 0.5);
+        let m = reg.get("util").unwrap();
+        // 10 s at 0.0, 20 s at 1.0, 10 s at 0.5 over [0, 40].
+        let mean = m.mean_over(t(0.0), t(40.0), 0.0);
+        assert!((mean - (20.0 + 5.0) / 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as")]
+    fn kind_mismatch_panics() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add(t(0.0), "x", 1.0);
+        reg.gauge_set(t(1.0), "x", 2.0);
+    }
+
+    #[test]
+    fn histogram_weights_by_time_not_samples() {
+        let mut s = TimeSeries::new();
+        s.push(t(0.0), 0.2);
+        s.push(t(1.0), 0.9); // only 1 s at 0.2, then 9 s at 0.9
+        let h = TimeWeightedHistogram::from_series(&s, t(0.0), t(10.0), 0.0, &[0.5]);
+        assert!((h.bucket_seconds()[0] - 1.0).abs() < 1e-9);
+        assert!((h.bucket_seconds()[1] - 9.0).abs() < 1e-9);
+        assert!((h.fraction(1) - 0.9).abs() < 1e-9);
+        assert!((h.total_seconds() - 10.0).abs() < 1e-9);
+    }
+}

@@ -41,8 +41,7 @@ impl SimulationCostModel {
 
     /// Compute seconds per timestep for `spec`.
     pub fn step_seconds(&self, spec: &ProblemSpec) -> f64 {
-        let flops =
-            spec.num_cells as f64 * spec.num_levels as f64 * self.flops_per_cell_level;
+        let flops = spec.num_cells as f64 * spec.num_levels as f64 * self.flops_per_cell_level;
         flops / (self.cores as f64 * self.sustained_flops_per_core) + self.comm_seconds_per_step
     }
 
@@ -66,8 +65,7 @@ impl SimulationCostModel {
             "target {target_seconds}s below the communication floor {comm_total}s"
         );
         let compute_per_step = (target_seconds - comm_total) / steps;
-        let flops =
-            spec.num_cells as f64 * spec.num_levels as f64 * self.flops_per_cell_level;
+        let flops = spec.num_cells as f64 * spec.num_levels as f64 * self.flops_per_cell_level;
         self.sustained_flops_per_core = flops / (self.cores as f64 * compute_per_step);
     }
 }
@@ -99,8 +97,7 @@ mod tests {
         // 20.8 GFLOP/s peak of an E5-2670 core.
         let model = SimulationCostModel::caddy();
         assert!(
-            model.sustained_flops_per_core > 5e8
-                && model.sustained_flops_per_core < 2.08e10,
+            model.sustained_flops_per_core > 5e8 && model.sustained_flops_per_core < 2.08e10,
             "sustained = {}",
             model.sustained_flops_per_core
         );
@@ -113,8 +110,7 @@ mod tests {
         let six_months = ProblemSpec::paper_60km();
         let hundred_years = ProblemSpec::paper_100yr();
         let ratio = model.total_seconds(&hundred_years) / model.total_seconds(&six_months);
-        let step_ratio =
-            hundred_years.total_steps() as f64 / six_months.total_steps() as f64;
+        let step_ratio = hundred_years.total_steps() as f64 / six_months.total_steps() as f64;
         assert!((ratio - step_ratio).abs() < 1e-9);
     }
 

@@ -191,7 +191,7 @@ mod tests {
     #[test]
     fn std_dev_matches_naive() {
         let f = Field2D::from_fn(2, 2, |i, j| (2 * j + i) as f64); // 0,1,2,3
-        // variance of {0,1,2,3} = 1.25
+                                                                   // variance of {0,1,2,3} = 1.25
         assert!((f.std_dev() - 1.25f64.sqrt()).abs() < 1e-12);
     }
 

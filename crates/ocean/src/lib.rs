@@ -40,4 +40,4 @@ pub use field::Field2D;
 pub use grid::Grid;
 pub use okubo_weiss::okubo_weiss;
 pub use problem::{ProblemSpec, SamplingRate};
-pub use shallow_water::{SwParams, SwState, ShallowWaterModel};
+pub use shallow_water::{ShallowWaterModel, SwParams, SwState};

@@ -27,7 +27,10 @@ impl SamplingRate {
     /// # Panics
     /// Panics if `h` is not positive.
     pub fn every_hours(h: f64) -> Self {
-        assert!(h > 0.0 && h.is_finite(), "sampling interval must be positive");
+        assert!(
+            h > 0.0 && h.is_finite(),
+            "sampling interval must be positive"
+        );
         SamplingRate { every_hours: h }
     }
 
@@ -105,7 +108,9 @@ impl ProblemSpec {
 
     /// Timesteps between consecutive outputs at `rate`.
     pub fn steps_per_output(&self, rate: SamplingRate) -> u64 {
-        (rate.every_hours * 60.0 / self.step_minutes).round().max(1.0) as u64
+        (rate.every_hours * 60.0 / self.step_minutes)
+            .round()
+            .max(1.0) as u64
     }
 
     /// Number of outputs at `rate`.

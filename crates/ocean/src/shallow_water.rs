@@ -95,7 +95,7 @@ impl ShallowWaterModel {
     /// Panics if the timestep violates the gravity-wave CFL limit.
     pub fn new(grid: Grid, params: SwParams) -> Self {
         let dt_max = grid.max_stable_dt(params.g, params.depth) * 2.0; // the
-        // helper already applies a 0.5 safety factor; allow up to the hard limit.
+                                                                       // helper already applies a 0.5 safety factor; allow up to the hard limit.
         assert!(
             params.dt > 0.0 && params.dt <= dt_max,
             "dt {} exceeds CFL limit {}",
@@ -305,8 +305,7 @@ mod tests {
         let m0 = m.total_mass();
         m.run(200);
         let m1 = m.total_mass();
-        let scale = m.state().h.max_abs() * m.grid().dx * m.grid().dy
-            * m.grid().num_cells() as f64;
+        let scale = m.state().h.max_abs() * m.grid().dx * m.grid().dy * m.grid().num_cells() as f64;
         assert!(
             (m1 - m0).abs() <= 1e-10 * scale.max(1.0),
             "mass drifted: {m0} -> {m1}"

@@ -13,7 +13,6 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rayon::prelude::*;
 
 use crate::field::Field2D;
 use crate::grid::Grid;
@@ -55,15 +54,10 @@ struct Mode {
 
 /// Generate cell-centered `(u, v)` velocity fields on `grid`,
 /// deterministically from `seed`.
-pub fn synthetic_velocities(
-    grid: &Grid,
-    spec: &SyntheticSpec,
-    seed: u64,
-) -> (Field2D, Field2D) {
+pub fn synthetic_velocities(grid: &Grid, spec: &SyntheticSpec, seed: u64) -> (Field2D, Field2D) {
     assert!(spec.modes > 0, "need at least one mode");
     assert!(
-        spec.max_wavelength_cells > spec.min_wavelength_cells
-            && spec.min_wavelength_cells >= 2.0,
+        spec.max_wavelength_cells > spec.min_wavelength_cells && spec.min_wavelength_cells >= 2.0,
         "wavelength band must be valid and resolvable"
     );
     let mut rng = StdRng::seed_from_u64(seed);

@@ -193,7 +193,10 @@ mod tests {
         let j_north = (m.grid().ny * 3) / 4;
         let i_mid = m.grid().nx / 2;
         let u_north = m.state().u.get(i_mid, j_north);
-        assert!(u_north > 0.0, "u north of an anticyclone should be eastward");
+        assert!(
+            u_north > 0.0,
+            "u north of an anticyclone should be eastward"
+        );
     }
 
     #[test]

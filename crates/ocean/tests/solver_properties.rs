@@ -8,12 +8,7 @@ use ivis_ocean::shallow_water::{ShallowWaterModel, SwParams};
 use ivis_ocean::vortex::{seed_random_eddies, seed_vortex, Vortex};
 use proptest::prelude::*;
 
-fn random_model(
-    nx: usize,
-    ny: usize,
-    eddies: usize,
-    seed: u64,
-) -> ShallowWaterModel {
+fn random_model(nx: usize, ny: usize, eddies: usize, seed: u64) -> ShallowWaterModel {
     let grid = Grid::channel(nx, ny, 60_000.0);
     let params = SwParams::eddy_channel(&grid);
     let mut m = ShallowWaterModel::new(grid, params);

@@ -182,8 +182,7 @@ mod tests {
         let attr = EnergyAttributor::caddy();
         let busy = attr.attribute(NodeLoad::COMPUTE, SimDuration::from_secs(10));
         let idle = attr.attribute(NodeLoad::IDLE, SimDuration::from_secs(10));
-        let platform_share =
-            |b: &EnergyBreakdown| b.platform.joules() / b.total().joules();
+        let platform_share = |b: &EnergyBreakdown| b.platform.joules() / b.total().joules();
         assert!(platform_share(&idle) > platform_share(&busy));
     }
 
@@ -200,9 +199,18 @@ mod tests {
     fn ledger_accumulates_per_phase() {
         let attr = EnergyAttributor::caddy();
         let mut ledger = PhaseEnergyLedger::new();
-        ledger.charge("simulate", attr.attribute(NodeLoad::COMPUTE, SimDuration::from_secs(10)));
-        ledger.charge("write", attr.attribute(NodeLoad::IO_BUSY_WAIT, SimDuration::from_secs(4)));
-        ledger.charge("simulate", attr.attribute(NodeLoad::COMPUTE, SimDuration::from_secs(10)));
+        ledger.charge(
+            "simulate",
+            attr.attribute(NodeLoad::COMPUTE, SimDuration::from_secs(10)),
+        );
+        ledger.charge(
+            "write",
+            attr.attribute(NodeLoad::IO_BUSY_WAIT, SimDuration::from_secs(4)),
+        );
+        ledger.charge(
+            "simulate",
+            attr.attribute(NodeLoad::COMPUTE, SimDuration::from_secs(10)),
+        );
         let sim = ledger.phase("simulate");
         let write = ledger.phase("write");
         assert!(sim.total() > write.total());

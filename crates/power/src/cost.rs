@@ -100,10 +100,7 @@ mod tests {
         // 1 MW for a year should cost ~$1M under the paper's rule.
         let price = EnergyPrice::paper_rule_of_thumb();
         let annual = price.annual_cost(Watts::from_kilowatts(1_000.0));
-        assert!(
-            (annual - 1.0e6).abs() / 1.0e6 < 0.01,
-            "annual = {annual}"
-        );
+        assert!((annual - 1.0e6).abs() / 1.0e6 < 0.01, "annual = {annual}");
     }
 
     #[test]

@@ -64,6 +64,31 @@ impl PowerProfile {
         total
     }
 
+    /// Exact energy over the sub-window `[from, to]`, clipping each
+    /// averaging interval to the window. Summing `energy_between` over a
+    /// partition of the profile window reproduces [`PowerProfile::energy`],
+    /// which is what makes per-phase energy attribution conservative.
+    ///
+    /// # Panics
+    /// Panics if `to < from`.
+    pub fn energy_between(&self, from: SimTime, to: SimTime) -> Joules {
+        assert!(to >= from, "energy window end precedes start");
+        let mut prev = self.start;
+        let mut total = Joules::ZERO;
+        for s in &self.samples {
+            let lo = if prev > from { prev } else { from };
+            let hi = if s.at < to { s.at } else { to };
+            if hi > lo {
+                total += s.avg.over(hi - lo);
+            }
+            prev = s.at;
+            if prev >= to {
+                break;
+            }
+        }
+        total
+    }
+
     /// Time-weighted average power over the window.
     ///
     /// Returns zero power for an empty profile.
@@ -138,12 +163,7 @@ impl PowerProfile {
     pub fn as_rows(&self) -> Vec<(f64, f64)> {
         self.samples
             .iter()
-            .map(|s| {
-                (
-                    (s.at - self.start).as_secs_f64() / 60.0,
-                    s.avg.watts(),
-                )
-            })
+            .map(|s| ((s.at - self.start).as_secs_f64() / 60.0, s.avg.watts()))
             .collect()
     }
 }
@@ -174,6 +194,25 @@ mod tests {
         assert_eq!(p.average_power(), Watts(200.0));
         assert_eq!(p.peak(), Watts(300.0));
         assert_eq!(p.floor(), Watts(100.0));
+    }
+
+    #[test]
+    fn energy_between_clips_intervals_and_tiles_exactly() {
+        let p = PowerProfile::from_meter_samples(
+            SimTime::ZERO,
+            vec![sample(60, 100.0), sample(120, 300.0)],
+        );
+        // Window straddling the sample boundary: 30 s at 100 W + 30 s at 300 W.
+        let mid = p.energy_between(t(30), t(90));
+        assert!((mid.joules() - (100.0 * 30.0 + 300.0 * 30.0)).abs() < 1e-9);
+        // A partition of the full window sums back to energy().
+        let parts = p.energy_between(t(0), t(45)).joules()
+            + p.energy_between(t(45), t(100)).joules()
+            + p.energy_between(t(100), t(120)).joules();
+        assert!((parts - p.energy().joules()).abs() < 1e-9);
+        // Windows outside the profile contribute nothing.
+        assert_eq!(p.energy_between(t(120), t(500)), Joules::ZERO);
+        assert_eq!(p.energy_between(t(7), t(7)), Joules::ZERO);
     }
 
     #[test]
@@ -223,18 +262,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "strictly time-ordered")]
     fn unordered_samples_rejected() {
-        let _ = PowerProfile::from_meter_samples(
-            SimTime::ZERO,
-            vec![sample(60, 1.0), sample(60, 2.0)],
-        );
+        let _ =
+            PowerProfile::from_meter_samples(SimTime::ZERO, vec![sample(60, 1.0), sample(60, 2.0)]);
     }
 
     #[test]
     fn rows_in_minutes() {
-        let p = PowerProfile::from_meter_samples(
-            t(60),
-            vec![sample(120, 10.0), sample(180, 20.0)],
-        );
+        let p = PowerProfile::from_meter_samples(t(60), vec![sample(120, 10.0), sample(180, 20.0)]);
         let rows = p.as_rows();
         assert_eq!(rows.len(), 2);
         assert!((rows[0].0 - 1.0).abs() < 1e-12);

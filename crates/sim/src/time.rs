@@ -118,7 +118,10 @@ impl SimDuration {
 
     /// Scale by a non-negative factor, rounding to the nearest microsecond.
     pub fn mul_f64(self, k: f64) -> SimDuration {
-        assert!(k >= 0.0 && k.is_finite(), "scale factor must be finite and >= 0");
+        assert!(
+            k >= 0.0 && k.is_finite(),
+            "scale factor must be finite and >= 0"
+        );
         SimDuration((self.0 as f64 * k).round() as u64)
     }
 
@@ -238,7 +241,10 @@ mod tests {
     fn from_secs_f64_saturates_bad_inputs() {
         assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
         assert_eq!(SimTime::from_secs_f64(f64::NAN), SimTime::ZERO);
-        assert_eq!(SimDuration::from_secs_f64(f64::NEG_INFINITY), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs_f64(f64::NEG_INFINITY),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -290,7 +296,9 @@ mod tests {
 
     #[test]
     fn checked_add_detects_overflow() {
-        assert!(SimTime::MAX.checked_add(SimDuration::from_micros(1)).is_none());
+        assert!(SimTime::MAX
+            .checked_add(SimDuration::from_micros(1))
+            .is_none());
         assert_eq!(
             SimTime::ZERO.checked_add(SimDuration::from_secs(1)),
             Some(SimTime::from_secs(1))

@@ -131,7 +131,12 @@ impl TimeSeries {
 
     /// Merge: the pointwise sum of two step functions (e.g. adding per-cage
     /// power traces into a cluster trace).
-    pub fn sum_with(&self, other: &TimeSeries, default_self: f64, default_other: f64) -> TimeSeries {
+    pub fn sum_with(
+        &self,
+        other: &TimeSeries,
+        default_self: f64,
+        default_other: f64,
+    ) -> TimeSeries {
         let mut out = TimeSeries::new();
         let mut times: Vec<SimTime> = self
             .samples

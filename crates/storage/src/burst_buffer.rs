@@ -132,8 +132,8 @@ impl BurstBuffer {
                 "free space must open once all drains land"
             );
         }
-        let absorb_done = start
-            + SimDuration::from_secs_f64(bytes as f64 / self.config.absorb_bandwidth_bps);
+        let absorb_done =
+            start + SimDuration::from_secs_f64(bytes as f64 / self.config.absorb_bandwidth_bps);
         // The drain begins once the data is in NVRAM; the PFS write models
         // the back-end transfer and capacity accounting.
         let drain_done = fs.write(absorb_done, path, bytes)?;
@@ -200,7 +200,7 @@ mod tests {
     fn full_buffer_stalls_the_writer() {
         let mut fs = slow_fs();
         let mut buf = bb(1_000, 1_000_000.0); // absorbs instantly, tiny capacity
-        // First write fills the buffer; drains at 100 B/s ⇒ done at t=10.
+                                              // First write fills the buffer; drains at 100 B/s ⇒ done at t=10.
         let t1 = buf.write(&mut fs, SimTime::ZERO, "/a", 1_000).unwrap();
         assert!(t1.as_secs_f64() < 0.01);
         // Second write must wait for the drain to free space.
@@ -241,9 +241,7 @@ mod tests {
         let mut buf = bb(100_000, 10_000.0);
         let mut now = SimTime::ZERO;
         for k in 0..10 {
-            now = buf
-                .write(&mut fs, now, &format!("/f{k}"), 1_000)
-                .unwrap();
+            now = buf.write(&mut fs, now, &format!("/f{k}"), 1_000).unwrap();
         }
         // 10 kB at 10 kB/s absorb = 1 s of caller-visible time.
         assert!((now.as_secs_f64() - 1.0).abs() < 0.01, "now = {now}");

@@ -159,7 +159,10 @@ impl std::fmt::Display for NcError {
                 name,
                 expected,
                 actual,
-            } => write!(f, "variable {name}: shape implies {expected} elements, got {actual}"),
+            } => write!(
+                f,
+                "variable {name}: shape implies {expected} elements, got {actual}"
+            ),
             NcError::BadDimIndex(i) => write!(f, "dimension index {i} out of range"),
         }
     }
@@ -537,12 +540,8 @@ mod tests {
         let mut f = NcFile::new();
         let n = 10_000;
         let d = f.add_dim("cells", n);
-        f.add_var(
-            "W",
-            vec![d],
-            VarData::F64(vec![0.0; n as usize]),
-        )
-        .unwrap();
+        f.add_var("W", vec![d], VarData::F64(vec![0.0; n as usize]))
+            .unwrap();
         let size = f.encoded_size();
         assert!(size >= 8 * n && size < 8 * n + 200, "size={size}");
     }

@@ -324,6 +324,37 @@ impl ParallelFileSystem {
             .ok_or_else(|| PfsError::NotFound(path.to_string()))
     }
 
+    /// Seconds of already-queued write/read work remaining at `now`: the
+    /// drain horizon of the most-backlogged OSS. Zero when every transfer
+    /// submitted so far has completed — e.g. after a synchronous
+    /// [`ParallelFileSystem::write`] returns. Non-zero while a burst
+    /// buffer drains in the background.
+    pub fn queued_write_seconds(&self, now: SimTime) -> f64 {
+        self.oss
+            .iter()
+            .map(|o| {
+                let drained = o.drained_at();
+                if drained > now {
+                    (drained - now).as_secs_f64()
+                } else {
+                    0.0
+                }
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Fraction of OSS with transfers still in flight at `now` — the
+    /// instantaneous bandwidth-utilization gauge exported to the tracer.
+    pub fn bandwidth_utilization(&self, now: SimTime) -> f64 {
+        let busy = self.oss.iter().filter(|o| o.drained_at() > now).count();
+        busy as f64 / self.oss.len() as f64
+    }
+
+    /// Number of object-transfer records accumulated so far.
+    pub fn transfer_count(&self) -> usize {
+        self.transfers.len()
+    }
+
     /// Reconstruct the rack's power meter: full-load power while any
     /// transfer is in flight, idle power otherwise, averaged per minute
     /// exactly like the Raritan PDU (apply a window via
@@ -380,6 +411,24 @@ mod tests {
         assert_eq!(done, t(10));
         assert_eq!(fs.used_bytes(), 1000);
         assert_eq!(fs.size_of("/a").unwrap(), 1000);
+    }
+
+    #[test]
+    fn observability_gauges_track_backlog() {
+        let mut fs = ParallelFileSystem::new(test_config());
+        assert_eq!(fs.queued_write_seconds(SimTime::ZERO), 0.0);
+        assert_eq!(fs.bandwidth_utilization(SimTime::ZERO), 0.0);
+        assert_eq!(fs.transfer_count(), 0);
+        // 1000 B striped over 2 OSS at 50 B/s each => drains at t = 10 s.
+        let done = fs.write(SimTime::ZERO, "/a", 1000).unwrap();
+        assert_eq!(done, t(10));
+        // Mid-flight (from the gauges' point of view) the backlog is visible.
+        assert_eq!(fs.bandwidth_utilization(t(4)), 1.0);
+        assert!((fs.queued_write_seconds(t(4)) - 6.0).abs() < 1e-9);
+        // Once the transfer drains, both gauges return to zero.
+        assert_eq!(fs.queued_write_seconds(done), 0.0);
+        assert_eq!(fs.bandwidth_utilization(done), 0.0);
+        assert_eq!(fs.transfer_count(), 1);
     }
 
     #[test]
@@ -460,7 +509,10 @@ mod tests {
         fs.delete(t(100), "/a").unwrap();
         assert_eq!(fs.used_bytes(), 0);
         assert!(!fs.exists("/a"));
-        assert!(matches!(fs.delete(t(101), "/a"), Err(PfsError::NotFound(_))));
+        assert!(matches!(
+            fs.delete(t(101), "/a"),
+            Err(PfsError::NotFound(_))
+        ));
     }
 
     #[test]

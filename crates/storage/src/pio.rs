@@ -102,9 +102,8 @@ impl CollectiveWriter {
             per_agg[i % self.config.num_aggregators] += b;
         }
         let max_agg = *per_agg.iter().max().expect("non-empty aggregators");
-        let gather = SimDuration::from_secs_f64(
-            max_agg as f64 / self.config.aggregator_bandwidth_bps,
-        );
+        let gather =
+            SimDuration::from_secs_f64(max_agg as f64 / self.config.aggregator_bandwidth_bps);
         let gather_done = now + gather;
         // Aggregators write their shares into the shared file concurrently;
         // with processor sharing the barrier completion equals one combined
@@ -152,10 +151,7 @@ mod tests {
         assert_eq!(report.gather_done, SimTime::from_secs(2));
         assert_eq!(report.write_done, SimTime::from_secs(6));
         assert_eq!(report.bytes, 400);
-        assert_eq!(
-            report.total_time(SimTime::ZERO),
-            SimDuration::from_secs(6)
-        );
+        assert_eq!(report.total_time(SimTime::ZERO), SimDuration::from_secs(6));
         assert_eq!(fs.size_of("/out").unwrap(), 400);
     }
 

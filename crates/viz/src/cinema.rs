@@ -76,7 +76,10 @@ impl CinemaDatabase {
     /// Total bytes of all images plus the index — the database's storage
     /// footprint (the in-situ pipeline's `S_io`).
     pub fn total_bytes(&self) -> u64 {
-        self.entries.iter().map(|e| e.data.len() as u64).sum::<u64>()
+        self.entries
+            .iter()
+            .map(|e| e.data.len() as u64)
+            .sum::<u64>()
             + self.index_json().len() as u64
     }
 
@@ -155,10 +158,7 @@ mod tests {
         let mut db = CinemaDatabase::new("x");
         db.add_image(0, 0.0, &img(8, 8));
         let image_bytes = encoded_png_size(8, 8);
-        assert_eq!(
-            db.total_bytes(),
-            image_bytes + db.index_json().len() as u64
-        );
+        assert_eq!(db.total_bytes(), image_bytes + db.index_json().len() as u64);
     }
 
     #[test]
@@ -170,14 +170,8 @@ mod tests {
         assert!(json.contains("\"timestep\": 3"));
         assert!(json.contains("ts_00000003.png"));
         // Crude structural checks: balanced braces/brackets.
-        assert_eq!(
-            json.matches('{').count(),
-            json.matches('}').count()
-        );
-        assert_eq!(
-            json.matches('[').count(),
-            json.matches(']').count()
-        );
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

@@ -59,11 +59,11 @@ impl Colormap {
             }
             Colormap::OkuboWeiss => piecewise(
                 &[
-                    (0.0, Rgb::new(0, 97, 52)),     // deep green: strong rotation
+                    (0.0, Rgb::new(0, 97, 52)), // deep green: strong rotation
                     (0.35, Rgb::new(110, 199, 133)),
                     (0.5, Rgb::new(242, 244, 238)), // neutral
                     (0.65, Rgb::new(120, 170, 221)),
-                    (1.0, Rgb::new(17, 60, 133)),   // deep blue: strong shear
+                    (1.0, Rgb::new(17, 60, 133)), // deep blue: strong shear
                 ],
                 t,
             ),
@@ -124,7 +124,10 @@ mod tests {
     fn okubo_weiss_palette_semantics() {
         // Rotation end (t=0) must be green-dominated; shear end blue-dominated.
         let rot = Colormap::OkuboWeiss.sample(0.0);
-        assert!(rot.g > rot.r && rot.g > rot.b, "rotation end not green: {rot:?}");
+        assert!(
+            rot.g > rot.r && rot.g > rot.b,
+            "rotation end not green: {rot:?}"
+        );
         let shear = Colormap::OkuboWeiss.sample(1.0);
         assert!(
             shear.b > shear.r && shear.b > shear.g,

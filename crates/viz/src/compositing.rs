@@ -87,7 +87,9 @@ mod tests {
     use crate::raster::rasterize;
 
     fn field() -> Field2D {
-        Field2D::from_fn(32, 24, |i, j| (i as f64 * 0.3).sin() + (j as f64 * 0.5).cos())
+        Field2D::from_fn(32, 24, |i, j| {
+            (i as f64 * 0.3).sin() + (j as f64 * 0.5).cos()
+        })
     }
 
     #[test]

@@ -19,7 +19,11 @@ pub fn crc32(data: &[u8]) -> u32 {
     for (n, entry) in table.iter_mut().enumerate() {
         let mut c = n as u32;
         for _ in 0..8 {
-            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
         }
         *entry = c;
     }
@@ -207,7 +211,7 @@ mod tests {
         assert_eq!(raw[0], 0);
         assert_eq!(&raw[1..4], &[0, 0, 7]); // pixel (0,0)
         assert_eq!(&raw[1 + 9..1 + 12], &[30, 0, 7]); // pixel (3,0)
-        assert_eq!(&raw[14 ..17], &[0, 100, 7]); // pixel (0,1)
+        assert_eq!(&raw[14..17], &[0, 100, 7]); // pixel (0,1)
     }
 
     #[test]

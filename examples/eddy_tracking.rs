@@ -83,6 +83,12 @@ fn main() {
         );
     }
 
-    report.cinema.export_to_dir(&out).expect("writable output dir");
-    println!("\nCinema database written to {} (open the PNGs, green = eddies)", out.display());
+    report
+        .cinema
+        .export_to_dir(&out)
+        .expect("writable output dir");
+    println!(
+        "\nCinema database written to {} (open the PNGs, green = eddies)",
+        out.display()
+    );
 }

@@ -66,7 +66,10 @@ fn main() {
 
     // 4. Bootstrap confidence intervals (±0.3 % meter noise, 95 %).
     let u = bootstrap_calibration(&pts3, 8_640, 0.003, 500, 0.95, 7);
-    println!("\n95% confidence intervals under 0.3% meter noise ({} replicates):", u.replicates);
+    println!(
+        "\n95% confidence intervals under 0.3% meter noise ({} replicates):",
+        u.replicates
+    );
     println!("  t_sim: [{:.1}, {:.1}] s", u.t_sim.lo, u.t_sim.hi);
     println!("  alpha: [{:.2}, {:.2}] s/GB", u.alpha.lo, u.alpha.hi);
     println!("  beta : [{:.3}, {:.3}] s/image", u.beta.lo, u.beta.hi);

@@ -51,7 +51,10 @@ fn main() {
     let (lx, _) = grid.extent();
     let gate = grid.dx; // one cell: tight enough to expose coarse sampling
     let strides = [1usize, 2, 5, 10, 20, 30];
-    println!("\nTracking quality vs temporal stride (gate {:.0} km):", gate / 1000.0);
+    println!(
+        "\nTracking quality vs temporal stride (gate {:.0} km):",
+        gate / 1000.0
+    );
     println!("  stride | frames kept | tracks | track ratio | mean hop (km) | hop/gate");
     for q in sampling_sweep(&detections, &strides, gate, 1, lx) {
         println!(

@@ -23,8 +23,7 @@ fn main() {
         println!("  {h:>9.0} | {post:>8.2} TB | {insitu:>8.4} TB");
     }
     let budget = 2_000_000_000_000u64;
-    let days =
-        a.max_rate_under_storage_budget(PipelineKind::PostProcessing, &spec, budget) / 24.0;
+    let days = a.max_rate_under_storage_budget(PipelineKind::PostProcessing, &spec, budget) / 24.0;
     let insitu_h = a.max_rate_under_storage_budget(PipelineKind::InSitu, &spec, budget);
     println!(
         "  With a 2 TB reservation: post-processing is forced to once every \

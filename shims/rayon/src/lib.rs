@@ -1,0 +1,224 @@
+//! Offline stand-in for the subset of the `rayon` API this workspace uses.
+//!
+//! The build environment cannot reach crates.io, so `par_iter`,
+//! `par_chunks_mut` and friends are provided here as *sequential* adapters
+//! over the std iterators. Call sites keep rayon idioms (and therefore must
+//! remain free of per-iteration mutable-state dependencies), and the real
+//! crate can be substituted without source changes once a registry is
+//! available.
+//!
+//! The adapters yield a [`prelude::Par`] wrapper rather than bare std
+//! iterators so that rayon-specific signatures — notably the two-argument
+//! `reduce(identity, op)` — resolve to inherent methods instead of
+//! colliding with `Iterator::reduce`.
+
+/// The traits and extension methods callers import with
+/// `use rayon::prelude::*`.
+pub mod prelude {
+    /// Sequential stand-in for a rayon parallel iterator.
+    ///
+    /// Implements [`Iterator`], so std consumers (`sum`, `count`,
+    /// `collect`, `for_each`, `for` loops) work unchanged; rayon-shaped
+    /// combinators are inherent methods, which take precedence over the
+    /// trait methods of the same name and keep chains inside `Par`.
+    pub struct Par<I>(I);
+
+    impl<I: Iterator> Iterator for Par<I> {
+        type Item = I::Item;
+        fn next(&mut self) -> Option<I::Item> {
+            self.0.next()
+        }
+        fn size_hint(&self) -> (usize, Option<usize>) {
+            self.0.size_hint()
+        }
+    }
+
+    impl<I: Iterator> Par<I> {
+        /// Transform each item (stays in `Par` so `reduce` keeps rayon's
+        /// two-argument form downstream).
+        pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> Par<std::iter::Map<I, F>> {
+            Par(self.0.map(f))
+        }
+
+        /// Keep items matching the predicate.
+        pub fn filter<P: FnMut(&I::Item) -> bool>(self, p: P) -> Par<std::iter::Filter<I, P>> {
+            Par(self.0.filter(p))
+        }
+
+        /// Pair each item with its index.
+        pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+            Par(self.0.enumerate())
+        }
+
+        /// rayon-style fold: combine items with `op` starting from
+        /// `identity()` (rayon calls `identity` once per split; one call
+        /// suffices sequentially).
+        pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+        where
+            ID: Fn() -> I::Item,
+            OP: Fn(I::Item, I::Item) -> I::Item,
+        {
+            let mut acc = identity();
+            for x in self.0 {
+                acc = op(acc, x);
+            }
+            acc
+        }
+    }
+
+    impl<'a, T: 'a + Copy, I: Iterator<Item = &'a T>> Par<I> {
+        /// Copy out of a by-reference iterator.
+        pub fn copied(self) -> Par<std::iter::Copied<I>> {
+            Par(self.0.copied())
+        }
+    }
+
+    /// Marker for iterators whose items arrive in index order. With the
+    /// sequential backend every std iterator qualifies.
+    pub trait IndexedParallelIterator: Iterator {}
+
+    impl<I: Iterator> IndexedParallelIterator for I {}
+
+    /// Alias trait mirroring rayon's base parallel-iterator bound.
+    pub trait ParallelIterator: Iterator {}
+
+    impl<I: Iterator> ParallelIterator for I {}
+
+    /// `par_iter` on shared slices.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Item type yielded by the iterator.
+        type Item;
+        /// Sequential stand-in iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Iterate the collection "in parallel" (sequentially here).
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = Par<std::slice::Iter<'a, T>>;
+        fn par_iter(&'a self) -> Self::Iter {
+            Par(self.iter())
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = Par<std::slice::Iter<'a, T>>;
+        fn par_iter(&'a self) -> Self::Iter {
+            Par(self.iter())
+        }
+    }
+
+    /// `par_iter_mut` on mutable slices.
+    pub trait IntoParallelRefMutIterator<'a> {
+        /// Item type yielded by the iterator.
+        type Item;
+        /// Sequential stand-in iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Mutably iterate the collection "in parallel" (sequentially here).
+        fn par_iter_mut(&'a mut self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for [T] {
+        type Item = &'a mut T;
+        type Iter = Par<std::slice::IterMut<'a, T>>;
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            Par(self.iter_mut())
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+        type Item = &'a mut T;
+        type Iter = Par<std::slice::IterMut<'a, T>>;
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            Par(self.iter_mut())
+        }
+    }
+
+    /// `par_chunks` / `par_chunks_mut` on slices.
+    pub trait ParallelSlice<T> {
+        /// Chunked shared iteration.
+        fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>>;
+        /// Chunked mutable iteration.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>> {
+            Par(self.chunks(chunk_size))
+        }
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+            Par(self.chunks_mut(chunk_size))
+        }
+    }
+
+    /// `into_par_iter` on owned collections and ranges.
+    pub trait IntoParallelIterator {
+        /// Item type yielded by the iterator.
+        type Item;
+        /// Sequential stand-in iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Consume `self` into a "parallel" (sequential) iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = Par<I::IntoIter>;
+        fn into_par_iter(self) -> Self::Iter {
+            Par(self.into_iter())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn slice_adapters_behave_like_std() {
+        let v = vec![1.0f64, 2.0, 3.0, 4.0];
+        let s: f64 = v.par_iter().sum();
+        assert_eq!(s, 10.0);
+        let n = v.par_iter().filter(|&&x| x > 2.0).count();
+        assert_eq!(n, 2);
+        let mut rows = vec![0u32; 6];
+        rows.par_chunks_mut(3).enumerate().for_each(|(j, row)| {
+            for r in row {
+                *r = j as u32;
+            }
+        });
+        assert_eq!(rows, [0, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn rayon_style_reduce_resolves() {
+        let v = vec![3.0f64, -7.0, 5.0];
+        let max_abs = v.par_iter().map(|x| x.abs()).reduce(|| 0.0, f64::max);
+        assert_eq!(max_abs, 7.0);
+        let min = v.par_iter().copied().reduce(|| f64::INFINITY, f64::min);
+        assert_eq!(min, -7.0);
+    }
+
+    #[test]
+    fn impl_indexed_return_position_works() {
+        fn rows(
+            data: &mut [f64],
+            nx: usize,
+        ) -> impl IndexedParallelIterator<Item = (usize, &mut [f64])> {
+            data.par_chunks_mut(nx).enumerate()
+        }
+        let mut d = vec![0.0; 4];
+        rows(&mut d, 2).for_each(|(j, row)| row[0] = j as f64);
+        assert_eq!(d, [0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn into_par_iter_on_range_and_collect() {
+        let total: usize = (0..10usize).into_par_iter().sum();
+        assert_eq!(total, 45);
+        let doubled: Vec<i32> = vec![1, 2, 3].par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, [2, 4, 6]);
+    }
+}

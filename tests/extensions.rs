@@ -40,7 +40,10 @@ fn three_pipelines_rank_consistently() {
         .as_secs_f64();
     assert!(insitu < buffered, "{insitu} vs {buffered}");
     assert!(buffered < post, "{buffered} vs {post}");
-    assert!(insitu < intransit && intransit < post, "intransit {intransit}");
+    assert!(
+        insitu < intransit && intransit < post,
+        "intransit {intransit}"
+    );
 }
 
 #[test]
@@ -53,7 +56,10 @@ fn energy_bill_of_the_paper_campaign() {
     let post = campaign.run(&PipelineConfig::paper(PipelineKind::PostProcessing, 8.0));
     let bill_insitu = price.cost_of(insitu.energy_total());
     let bill_post = price.cost_of(post.energy_total());
-    assert!(bill_post > 1.9 * bill_insitu, "{bill_post} vs {bill_insitu}");
+    assert!(
+        bill_post > 1.9 * bill_insitu,
+        "{bill_post} vs {bill_insitu}"
+    );
     // Sanity on magnitude: single runs cost single-digit dollars.
     assert!(bill_post < 10.0 && bill_insitu > 0.5);
 }

@@ -69,7 +69,12 @@ fn least_squares_over_full_matrix_matches_exact_solve() {
         })
         .collect();
     let ls = calibrate_least_squares(&all, 8640).expect("solvable");
-    assert!((exact.alpha - ls.alpha).abs() < 0.1, "{} vs {}", exact.alpha, ls.alpha);
+    assert!(
+        (exact.alpha - ls.alpha).abs() < 0.1,
+        "{} vs {}",
+        exact.alpha,
+        ls.alpha
+    );
     assert!((exact.beta - ls.beta).abs() < 0.05);
     assert!((exact.t_sim_ref - ls.t_sim_ref).abs() < 5.0);
 }

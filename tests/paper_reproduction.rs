@@ -22,9 +22,21 @@ fn headline_result_insitu_8h() {
     let insitu = run(PipelineKind::InSitu, 8.0);
     let post = run(PipelineKind::PostProcessing, 8.0);
     let c = compare(&insitu, &post);
-    assert!((c.time_saving_pct - 51.0).abs() < 4.0, "time saving {:.1}", c.time_saving_pct);
-    assert!((c.energy_saving_pct - 50.0).abs() < 5.0, "energy saving {:.1}", c.energy_saving_pct);
-    assert!(c.storage_reduction_pct > 99.5, "storage {:.2}", c.storage_reduction_pct);
+    assert!(
+        (c.time_saving_pct - 51.0).abs() < 4.0,
+        "time saving {:.1}",
+        c.time_saving_pct
+    );
+    assert!(
+        (c.energy_saving_pct - 50.0).abs() < 5.0,
+        "energy saving {:.1}",
+        c.energy_saving_pct
+    );
+    assert!(
+        c.storage_reduction_pct > 99.5,
+        "storage {:.2}",
+        c.storage_reduction_pct
+    );
     assert!(
         c.power_delta.watts().abs() < 2_500.0,
         "power should be ~unchanged, delta {}",
@@ -39,11 +51,18 @@ fn fig3_execution_times_all_rates() {
     assert!((run(PipelineKind::InSitu, 8.0).execution_time.as_secs_f64() - 1261.0).abs() < 35.0);
     assert!((run(PipelineKind::InSitu, 72.0).execution_time.as_secs_f64() - 676.0).abs() < 20.0);
     assert!(
-        (run(PipelineKind::PostProcessing, 24.0).execution_time.as_secs_f64() - 1322.0).abs()
+        (run(PipelineKind::PostProcessing, 24.0)
+            .execution_time
+            .as_secs_f64()
+            - 1322.0)
+            .abs()
             < 45.0
     );
     for (h, saving) in [(8.0, 51.0), (24.0, 38.0), (72.0, 19.0)] {
-        let c = compare(&run(PipelineKind::InSitu, h), &run(PipelineKind::PostProcessing, h));
+        let c = compare(
+            &run(PipelineKind::InSitu, h),
+            &run(PipelineKind::PostProcessing, h),
+        );
         assert!(
             (c.time_saving_pct - saving).abs() < 4.0,
             "at {h} h: {:.1}% vs paper {saving}%",
@@ -78,7 +97,10 @@ fn fig5_fig6_power_flat_energy_tracks_time() {
     }
     let spread = powers.iter().cloned().fold(f64::MIN, f64::max)
         - powers.iter().cloned().fold(f64::MAX, f64::min);
-    assert!(spread < 3.0, "Fig. 5: power spread {spread:.2} kW should be tiny");
+    assert!(
+        spread < 3.0,
+        "Fig. 5: power spread {spread:.2} kW should be tiny"
+    );
 }
 
 #[test]
@@ -111,7 +133,11 @@ fn eq5_calibration_recovers_constants() {
     })
     .collect();
     let model = calibrate_exact(&[pts[0], pts[1], pts[2]], 8640).expect("solvable");
-    assert!((model.t_sim_ref - 603.0).abs() < 10.0, "t_sim {}", model.t_sim_ref);
+    assert!(
+        (model.t_sim_ref - 603.0).abs() < 10.0,
+        "t_sim {}",
+        model.t_sim_ref
+    );
     assert!((model.alpha - 6.3).abs() < 0.4, "alpha {}", model.alpha);
     assert!((model.beta - 1.2).abs() < 0.12, "beta {}", model.beta);
 }
@@ -154,11 +180,9 @@ fn fig8_model_validates_under_one_percent() {
 fn fig9_storage_whatif() {
     let a = WhatIfAnalyzer::paper();
     let spec = ProblemSpec::paper_100yr();
-    let days = a.max_rate_under_storage_budget(
-        PipelineKind::PostProcessing,
-        &spec,
-        2_000_000_000_000,
-    ) / 24.0;
+    let days =
+        a.max_rate_under_storage_budget(PipelineKind::PostProcessing, &spec, 2_000_000_000_000)
+            / 24.0;
     assert!((days - 8.0).abs() < 0.5, "paper: ~8 days; got {days:.2}");
     let hourly_insitu =
         a.storage_bytes(PipelineKind::InSitu, &spec, SamplingRate::every_hours(1.0));
@@ -171,7 +195,10 @@ fn fig10_energy_whatif() {
     let spec = ProblemSpec::paper_100yr();
     for (h, paper) in [(1.0, 67.2), (12.0, 49.0), (24.0, 38.0)] {
         let s = a.energy_saving_pct(&spec, SamplingRate::every_hours(h));
-        assert!((s - paper).abs() < 1.5, "at {h} h: {s:.1}% vs paper {paper}%");
+        assert!(
+            (s - paper).abs() < 1.5,
+            "at {h} h: {s:.1}% vs paper {paper}%"
+        );
     }
 }
 
@@ -182,8 +209,7 @@ fn finding2_storage_power_cannot_be_saved() {
     // the ~46 kW system draw.
     let insitu = run(PipelineKind::InSitu, 8.0);
     let post = run(PipelineKind::PostProcessing, 8.0);
-    let delta =
-        post.avg_power_storage().watts() - insitu.avg_power_storage().watts();
+    let delta = post.avg_power_storage().watts() - insitu.avg_power_storage().watts();
     assert!(delta.abs() <= 29.0 + 1e-6, "storage power delta {delta} W");
     assert!(post.avg_power_total().watts() > 40_000.0);
 }

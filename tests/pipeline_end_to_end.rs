@@ -48,8 +48,7 @@ fn produced_pngs_are_structurally_valid() {
         let mut pos = 8;
         let mut last_kind = [0u8; 4];
         while pos < data.len() {
-            let len =
-                u32::from_be_bytes(data[pos..pos + 4].try_into().expect("length")) as usize;
+            let len = u32::from_be_bytes(data[pos..pos + 4].try_into().expect("length")) as usize;
             last_kind.copy_from_slice(&data[pos + 4..pos + 8]);
             let crc_stored =
                 u32::from_be_bytes(data[pos + 8 + len..pos + 12 + len].try_into().expect("crc"));
@@ -105,5 +104,8 @@ fn eddies_survive_simulation() {
         .iter()
         .filter(|t| t.lifetime_frames() >= 3)
         .count();
-    assert!(long_tracks >= 1, "at least one eddy tracked across ≥3 frames");
+    assert!(
+        long_tracks >= 1,
+        "at least one eddy tracked across ≥3 frames"
+    );
 }
