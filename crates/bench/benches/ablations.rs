@@ -39,7 +39,7 @@ fn bench_ablations(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("ablations");
     for policy in [IoWaitPolicy::BusyWait, IoWaitPolicy::DeepIdle] {
-        g.bench_function(format!("campaign_post8h_{policy:?}"), |b| {
+        g.bench_function(&format!("campaign_post8h_{policy:?}"), |b| {
             let mut campaign = Campaign::paper();
             campaign.config.io_policy = policy;
             let pc = PipelineConfig::paper(PipelineKind::PostProcessing, 8.0);

@@ -35,11 +35,11 @@ fn bench_fig2(c: &mut Criterion) {
     });
     for (w, h) in [(192usize, 128usize), (720, 512)] {
         let renderer = FieldRenderer::okubo_weiss(w, h);
-        g.bench_function(format!("rasterize_{w}x{h}"), |b| {
+        g.bench_function(&format!("rasterize_{w}x{h}"), |b| {
             b.iter(|| renderer.render(&snap.okubo_weiss))
         });
         let img = renderer.render(&snap.okubo_weiss);
-        g.bench_function(format!("png_encode_{w}x{h}"), |b| {
+        g.bench_function(&format!("png_encode_{w}x{h}"), |b| {
             b.iter(|| encode_png(&img))
         });
     }

@@ -18,7 +18,7 @@ fn bench_fig3(c: &mut Criterion) {
     for kind in [PipelineKind::InSitu, PipelineKind::PostProcessing] {
         for hours in [8.0, 24.0, 72.0] {
             let pc = PipelineConfig::paper(kind, hours);
-            g.bench_function(format!("{}_{}h", kind.label(), hours), |b| {
+            g.bench_function(&format!("{}_{}h", kind.label(), hours), |b| {
                 b.iter(|| campaign.run(&pc))
             });
         }

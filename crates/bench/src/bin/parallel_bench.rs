@@ -1,0 +1,163 @@
+//! Scaling benchmark for the threaded rayon shim: fig2 render + fig9
+//! sweep + fig8 campaign matrix, sequential baseline vs N worker threads.
+//!
+//! Writes `BENCH_parallel.json` (or the path given as the first argument).
+//! The sequential baseline for the render is [`rasterize_reference`] — the
+//! seed's original naive per-pixel renderer — so the recorded speedup is
+//! the combined effect of the table-driven sampling kernel and row-level
+//! threading; outputs are verified bit-identical before timing. The host's
+//! `available_parallelism` is recorded so single-core results read
+//! honestly: thread counts above it cannot add wall-clock speedup there.
+
+use std::time::Instant;
+
+use ivis_core::adaptor::CatalystAdaptor;
+use ivis_core::campaign::Campaign;
+use ivis_core::{PipelineConfig, PipelineKind};
+use ivis_model::WhatIfAnalyzer;
+use ivis_ocean::grid::Grid;
+use ivis_ocean::shallow_water::{ShallowWaterModel, SwParams};
+use ivis_ocean::vortex::seed_random_eddies;
+use ivis_ocean::{Field2D, ProblemSpec};
+use ivis_viz::raster::rasterize_reference;
+use ivis_viz::render::FieldRenderer;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Median wall-clock milliseconds of `f` over `reps` runs (after warmup).
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warmup + lazy init
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn spun_up_field() -> Field2D {
+    let grid = Grid::channel(96, 64, 60_000.0);
+    let params = SwParams::eddy_channel(&grid);
+    let mut m = ShallowWaterModel::new(grid, params);
+    seed_random_eddies(&mut m, 6, 42);
+    m.run(32);
+    CatalystAdaptor::new().adapt(&m).okubo_weiss
+}
+
+fn json_threads(entries: &[(usize, f64)]) -> String {
+    let fields: Vec<String> = entries
+        .iter()
+        .map(|(n, ms)| format!("\"{n}\": {ms:.4}"))
+        .collect();
+    format!("{{ {} }}", fields.join(", "))
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_parallel.json".to_string());
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let zsim = std::env::var("ZSIM_THREADS").ok();
+
+    // --- fig2 render: seed's naive sequential renderer vs threaded ---
+    let w_field = spun_up_field();
+    let mut fig2_sections = Vec::new();
+    for (width, height) in [(192usize, 128usize), (720, 512)] {
+        let renderer = FieldRenderer::okubo_weiss(width, height);
+        let (lo, hi) = renderer.resolve_range(&w_field);
+        let golden = rasterize_reference(&w_field, width, height, renderer.colormap, lo, hi);
+        assert_eq!(
+            renderer.render(&w_field),
+            golden,
+            "threaded render must be bit-identical before it is timed"
+        );
+        let reps = if width >= 700 { 15 } else { 40 };
+        let baseline_ms = time_ms(reps, || {
+            std::hint::black_box(rasterize_reference(
+                &w_field,
+                width,
+                height,
+                renderer.colormap,
+                lo,
+                hi,
+            ));
+        });
+        let mut per_thread = Vec::new();
+        for n in THREADS {
+            rayon::set_num_threads(n);
+            let ms = time_ms(reps, || {
+                std::hint::black_box(renderer.render(&w_field));
+            });
+            per_thread.push((n, ms));
+        }
+        rayon::set_num_threads(0);
+        let at4 = per_thread.iter().find(|&&(n, _)| n == 4).unwrap().1;
+        eprintln!(
+            "fig2 {width}x{height}: baseline {baseline_ms:.3} ms, 4 threads {at4:.3} ms ({:.2}x)",
+            baseline_ms / at4
+        );
+        fig2_sections.push(format!(
+            "    {{ \"width\": {width}, \"height\": {height}, \
+             \"sequential_baseline_ms\": {baseline_ms:.4}, \
+             \"threaded_ms\": {}, \
+             \"speedup_at_4_threads\": {:.3}, \"bit_identical\": true }}",
+            json_threads(&per_thread),
+            baseline_ms / at4
+        ));
+    }
+
+    // --- fig9 sweep: Eq. 4 what-if grid, 1 thread vs N ---
+    let analyzer = WhatIfAnalyzer::paper();
+    let spec = ProblemSpec::paper_100yr();
+    let hours: Vec<f64> = (1..=20_000).map(|i| i as f64 * 0.25).collect();
+    let mut fig9_entries = Vec::new();
+    for n in THREADS {
+        rayon::set_num_threads(n);
+        let ms = time_ms(9, || {
+            std::hint::black_box(analyzer.storage_curve(
+                PipelineKind::PostProcessing,
+                &spec,
+                &hours,
+            ));
+            std::hint::black_box(analyzer.energy_curve(
+                PipelineKind::PostProcessing,
+                &spec,
+                &hours,
+            ));
+        });
+        fig9_entries.push((n, ms));
+    }
+    rayon::set_num_threads(0);
+
+    // --- fig8 matrix: six-campaign fan-out, 1 thread vs N ---
+    let configs = PipelineConfig::paper_matrix();
+    let mut fig8_entries = Vec::new();
+    for n in THREADS {
+        rayon::set_num_threads(n);
+        let ms = time_ms(5, || {
+            std::hint::black_box(ivis_bench::run_matrix_parallel(Campaign::paper, &configs));
+        });
+        fig8_entries.push((n, ms));
+    }
+    rayon::set_num_threads(0);
+
+    let json = format!(
+        "{{\n  \"host\": {{ \"available_parallelism\": {host_threads}, \"zsim_threads\": {} }},\n  \
+         \"fig2_render\": [\n{}\n  ],\n  \
+         \"fig9_sweep\": {{ \"grid_points\": {}, \"threaded_ms\": {} }},\n  \
+         \"fig8_matrix\": {{ \"configs\": {}, \"threaded_ms\": {} }}\n}}\n",
+        zsim.map_or("null".to_string(), |v| format!("\"{v}\"")),
+        fig2_sections.join(",\n"),
+        hours.len(),
+        json_threads(&fig9_entries),
+        configs.len(),
+        json_threads(&fig8_entries),
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    eprintln!("wrote {out_path}");
+}

@@ -20,14 +20,27 @@ use ivis_model::WhatIfAnalyzer;
 use ivis_ocean::{ProblemSpec, SamplingRate};
 use ivis_power::proportionality::Proportionality;
 use ivis_storage::StoragePowerModel;
+use rayon::prelude::*;
 
 /// The paper's three sampling intervals, simulated hours.
 pub const PAPER_RATES: [f64; 3] = [8.0, 24.0, 72.0];
 
+/// Fan a set of pipeline configs out across worker threads, one freshly
+/// built campaign per run. `Campaign::run` is a pure function of the
+/// campaign config and the pipeline config (every run seeds its own RNGs
+/// from `config.seed`), so this returns exactly the metrics a sequential
+/// loop would, in input order.
+pub fn run_matrix_parallel(
+    make_campaign: impl Fn() -> Campaign + Sync,
+    configs: &[PipelineConfig],
+) -> Vec<PipelineMetrics> {
+    configs.par_iter().map(|c| make_campaign().run(c)).collect()
+}
+
 /// Measured metrics for the full 2×3 paper matrix (in-situ first, then
-/// post-processing, each at 8/24/72 h).
+/// post-processing, each at 8/24/72 h). The six runs execute in parallel.
 pub fn paper_matrix() -> Vec<PipelineMetrics> {
-    Campaign::paper().run_paper_matrix()
+    run_matrix_parallel(Campaign::paper, &PipelineConfig::paper_matrix())
 }
 
 /// A generic paper-vs-measured row.
@@ -201,19 +214,21 @@ pub fn fig7_rows() -> Vec<Row> {
 /// against the paper's (603, 6.3, 1.2).
 pub fn eq5_calibration() -> (PerfModel, Vec<Row>) {
     let spec = ProblemSpec::paper_60km();
-    let campaign = Campaign::paper_noisy(2017);
-    let pts: Vec<CalibrationPoint> = [
+    let configs: Vec<PipelineConfig> = [
         (PipelineKind::InSitu, 72.0),
         (PipelineKind::InSitu, 8.0),
         (PipelineKind::PostProcessing, 24.0),
     ]
     .iter()
-    .map(|&(kind, h)| {
-        let m = campaign.run(&PipelineConfig::paper(kind, h));
-        let (t, s, n) = model_point(&m);
-        CalibrationPoint::new(t, s, n)
-    })
+    .map(|&(kind, h)| PipelineConfig::paper(kind, h))
     .collect();
+    let pts: Vec<CalibrationPoint> = run_matrix_parallel(|| Campaign::paper_noisy(2017), &configs)
+        .iter()
+        .map(|m| {
+            let (t, s, n) = model_point(m);
+            CalibrationPoint::new(t, s, n)
+        })
+        .collect();
     let model = calibrate_exact(&[pts[0], pts[1], pts[2]], spec.total_steps())
         .expect("paper points are well-conditioned");
     let rows = vec![
@@ -242,15 +257,16 @@ pub fn eq5_calibration() -> (PerfModel, Vec<Row>) {
 /// Fig. 8 — validate the Eq. 5 model against all six noisy measurements.
 pub fn fig8_validation() -> ValidationReport {
     let (model, _) = eq5_calibration();
-    let campaign = Campaign::paper_noisy(8086);
-    let pts: Vec<CalibrationPoint> = campaign
-        .run_paper_matrix()
-        .iter()
-        .map(|m| {
-            let (t, s, n) = model_point(m);
-            CalibrationPoint::new(t, s, n)
-        })
-        .collect();
+    let pts: Vec<CalibrationPoint> = run_matrix_parallel(
+        || Campaign::paper_noisy(8086),
+        &PipelineConfig::paper_matrix(),
+    )
+    .iter()
+    .map(|m| {
+        let (t, s, n) = model_point(m);
+        CalibrationPoint::new(t, s, n)
+    })
+    .collect();
     validate(&model, &pts, ProblemSpec::paper_60km().total_steps())
 }
 
@@ -260,16 +276,12 @@ pub fn fig9_rows() -> (Vec<(f64, f64, f64)>, Row) {
     let a = WhatIfAnalyzer::paper();
     let spec = ProblemSpec::paper_100yr();
     let hours = [1.0, 2.0, 4.0, 8.0, 24.0, 48.0, 96.0, 192.0, 384.0];
-    let rows = hours
+    let post = a.storage_curve(PipelineKind::PostProcessing, &spec, &hours);
+    let insitu = a.storage_curve(PipelineKind::InSitu, &spec, &hours);
+    let rows = post
         .iter()
-        .map(|&h| {
-            let r = SamplingRate::every_hours(h);
-            (
-                h,
-                a.storage_bytes(PipelineKind::PostProcessing, &spec, r) as f64 / 1e12,
-                a.storage_bytes(PipelineKind::InSitu, &spec, r) as f64 / 1e12,
-            )
-        })
+        .zip(&insitu)
+        .map(|(&(h, p), &(_, i))| (h, p as f64 / 1e12, i as f64 / 1e12))
         .collect();
     let crossover_days =
         a.max_rate_under_storage_budget(PipelineKind::PostProcessing, &spec, 2_000_000_000_000)
@@ -291,16 +303,12 @@ pub fn fig10_rows() -> (Vec<(f64, f64, f64)>, Vec<Row>) {
     let a = WhatIfAnalyzer::paper();
     let spec = ProblemSpec::paper_100yr();
     let hours = [1.0, 2.0, 4.0, 8.0, 12.0, 24.0, 48.0, 96.0];
-    let curve = hours
+    let post = a.energy_curve(PipelineKind::PostProcessing, &spec, &hours);
+    let insitu = a.energy_curve(PipelineKind::InSitu, &spec, &hours);
+    let curve = post
         .iter()
-        .map(|&h| {
-            let r = SamplingRate::every_hours(h);
-            (
-                h,
-                a.energy(PipelineKind::PostProcessing, &spec, r).joules() / 1e9,
-                a.energy(PipelineKind::InSitu, &spec, r).joules() / 1e9,
-            )
-        })
+        .zip(&insitu)
+        .map(|(&(h, p), &(_, i))| (h, p.joules() / 1e9, i.joules() / 1e9))
         .collect();
     let rows = [(1.0, 67.2), (12.0, 49.0), (24.0, 38.0)]
         .iter()

@@ -7,6 +7,8 @@
 //! predicted time per relative change of each parameter — and break-even
 //! points between the pipelines.
 
+use rayon::prelude::*;
+
 use crate::perf::PerfModel;
 
 /// Elasticities of the predicted execution time at a given workload point:
@@ -70,6 +72,35 @@ pub fn raw_size_breakeven_gb(model: &PerfModel, insitu_extra_beta: f64) -> f64 {
     insitu_extra_beta / model.alpha
 }
 
+/// Elasticities over a grid of `(s_gb, n)` workload points — the
+/// sensitivity analogue of the what-if curves, one entry per point in
+/// input order. Points are independent, so the grid evaluates in parallel.
+pub fn elasticity_grid(model: &PerfModel, iter: u64, points: &[(f64, f64)]) -> Vec<Elasticities> {
+    points
+        .par_iter()
+        .map(|&(s_gb, n)| elasticities(model, iter, s_gb, n))
+        .collect()
+}
+
+/// `perturb_alpha` over a grid of scale factors, in input order — how the
+/// predicted time responds as storage bandwidth degrades or improves.
+/// Returns `(factor, exact, first_order)` triples, evaluated in parallel.
+pub fn alpha_perturbation_grid(
+    model: &PerfModel,
+    iter: u64,
+    s_gb: f64,
+    n: f64,
+    factors: &[f64],
+) -> Vec<(f64, f64, f64)> {
+    factors
+        .par_iter()
+        .map(|&factor| {
+            let (exact, first_order) = perturb_alpha(model, iter, s_gb, n, factor);
+            (factor, exact, first_order)
+        })
+        .collect()
+}
+
 /// Finite-difference check of the model's linearity: predicted time after
 /// scaling a parameter by `factor` versus the elasticity-based first-order
 /// estimate. Returns `(exact, first_order)` for testing and documentation.
@@ -113,6 +144,23 @@ mod tests {
         // Doubling α adds exactly α·S seconds.
         let base = m.predict_seconds(8640, 80.0, 180.0);
         assert!((exact - base - 6.3 * 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grids_match_pointwise_calls() {
+        let m = PerfModel::paper();
+        let points: Vec<(f64, f64)> = (1..40).map(|i| (i as f64 * 7.3, i as f64 * 11.0)).collect();
+        let grid = elasticity_grid(&m, 8640, &points);
+        assert_eq!(grid.len(), points.len());
+        for (e, &(s, n)) in grid.iter().zip(&points) {
+            assert_eq!(*e, elasticities(&m, 8640, s, n));
+        }
+        let factors: Vec<f64> = (1..30).map(|i| 0.25 * i as f64).collect();
+        let pg = alpha_perturbation_grid(&m, 8640, 80.0, 180.0, &factors);
+        for (row, &f) in pg.iter().zip(&factors) {
+            let (exact, fo) = perturb_alpha(&m, 8640, 80.0, 180.0, f);
+            assert_eq!(*row, (f, exact, fo));
+        }
     }
 
     #[test]

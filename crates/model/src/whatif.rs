@@ -9,6 +9,7 @@
 use ivis_core::PipelineKind;
 use ivis_ocean::{ProblemSpec, SamplingRate};
 use ivis_power::units::{Joules, Watts};
+use rayon::prelude::*;
 
 use crate::perf::PerfModel;
 
@@ -91,6 +92,7 @@ impl WhatIfAnalyzer {
     }
 
     /// A `(hours, storage_bytes)` curve over sampling intervals — Fig. 9.
+    /// Each grid point is independent, so the curve evaluates in parallel.
     pub fn storage_curve(
         &self,
         kind: PipelineKind,
@@ -98,7 +100,7 @@ impl WhatIfAnalyzer {
         hours: &[f64],
     ) -> Vec<(f64, u64)> {
         hours
-            .iter()
+            .par_iter()
             .map(|&h| {
                 (
                     h,
@@ -109,6 +111,7 @@ impl WhatIfAnalyzer {
     }
 
     /// A `(hours, joules)` curve over sampling intervals — Fig. 10.
+    /// Each grid point is independent, so the curve evaluates in parallel.
     pub fn energy_curve(
         &self,
         kind: PipelineKind,
@@ -116,7 +119,7 @@ impl WhatIfAnalyzer {
         hours: &[f64],
     ) -> Vec<(f64, Joules)> {
         hours
-            .iter()
+            .par_iter()
             .map(|&h| (h, self.energy(kind, spec, SamplingRate::every_hours(h))))
             .collect()
     }

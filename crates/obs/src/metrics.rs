@@ -133,6 +133,44 @@ impl MetricsRegistry {
     pub fn is_empty(&self) -> bool {
         self.metrics.is_empty()
     }
+
+    /// Merge several registries (e.g. one per worker thread) into one by
+    /// replaying every update in sim-time order.
+    ///
+    /// Counter series store cumulative totals, so each part's series is
+    /// first converted back to per-update deltas; re-accumulating the
+    /// time-sorted deltas yields the cumulative total the union of writers
+    /// would have produced. Gauges replay last-write-wins. Ties in time
+    /// break by part index, then by each part's own update order, so the
+    /// result does not depend on which thread produced which part.
+    pub fn merge(parts: Vec<MetricsRegistry>) -> MetricsRegistry {
+        let mut updates: Vec<(SimTime, usize, &'static str, MetricKind, f64)> = Vec::new();
+        for (part_idx, part) in parts.iter().enumerate() {
+            for m in part.iter() {
+                let mut prev = 0.0;
+                for &(t, v) in m.series.samples() {
+                    let x = match m.kind {
+                        MetricKind::Counter => {
+                            let delta = v - prev;
+                            prev = v;
+                            delta
+                        }
+                        MetricKind::Gauge => v,
+                    };
+                    updates.push((t, part_idx, m.name, m.kind, x));
+                }
+            }
+        }
+        updates.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut merged = MetricsRegistry::new();
+        for (t, _, name, kind, x) in updates {
+            match kind {
+                MetricKind::Counter => merged.counter_add(t, name, x),
+                MetricKind::Gauge => merged.gauge_set(t, name, x),
+            }
+        }
+        merged
+    }
 }
 
 /// Time-weighted histogram of a step function over a window.
@@ -254,6 +292,25 @@ mod tests {
         // 10 s at 0.0, 20 s at 1.0, 10 s at 0.5 over [0, 40].
         let mean = m.mean_over(t(0.0), t(40.0), 0.0);
         assert!((mean - (20.0 + 5.0) / 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_reconstructs_counter_deltas_and_replays_gauges() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add(t(0.0), "outputs", 1.0);
+        a.counter_add(t(20.0), "outputs", 2.0);
+        a.gauge_set(t(5.0), "util", 0.25);
+        let mut b = MetricsRegistry::new();
+        b.counter_add(t(10.0), "outputs", 4.0);
+        b.gauge_set(t(15.0), "util", 0.75);
+        let merged = MetricsRegistry::merge(vec![a, b]);
+        let m = merged.get("outputs").unwrap();
+        assert_eq!(m.last_value(), 7.0);
+        // Cumulative total interleaves: 1 @0, 5 @10, 7 @20.
+        assert_eq!(m.series().value_at(t(15.0), 0.0), 5.0);
+        let g = merged.get("util").unwrap();
+        assert_eq!(g.last_value(), 0.75);
+        assert_eq!(g.series().value_at(t(10.0), 0.0), 0.25);
     }
 
     #[test]

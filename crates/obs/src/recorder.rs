@@ -202,6 +202,87 @@ impl TraceBuffer {
         &self.events
     }
 
+    /// Merge per-thread buffers into one, ordered by sim time.
+    ///
+    /// `TraceBuffer` is `Send` (unlike [`Recorder`], whose sink is an
+    /// `Rc`), so concurrent instrumentation gives each worker thread its
+    /// own buffer and merges after joining. Spans are reordered by
+    /// `(start, part index, open order)` and their parent ids remapped to
+    /// the merged numbering; events likewise by `(time, part index, record
+    /// order)`; metrics merge via [`MetricsRegistry::merge`]. The result
+    /// depends only on the recorded sim times and the order of `parts` —
+    /// not on thread scheduling — and satisfies [`Self::phase_timeline`]'s
+    /// chronological invariant as long as the parts' phase spans do not
+    /// overlap in sim time.
+    ///
+    /// # Panics
+    /// Panics if any part still has an open span.
+    pub fn merge(parts: Vec<TraceBuffer>) -> TraceBuffer {
+        for (i, part) in parts.iter().enumerate() {
+            assert!(
+                part.stack.is_empty(),
+                "part {i} still has {} open span(s)",
+                part.stack.len()
+            );
+        }
+        // Sort span identities by (start, part, open order), then remap.
+        let mut span_keys: Vec<(SimTime, usize, usize)> = parts
+            .iter()
+            .enumerate()
+            .flat_map(|(p, part)| {
+                part.spans
+                    .iter()
+                    .enumerate()
+                    .map(move |(s, span)| (span.start, p, s))
+            })
+            .collect();
+        span_keys.sort();
+        let nspans: Vec<usize> = parts.iter().map(|part| part.spans.len()).collect();
+        let mut new_id = vec![SpanId::NONE; nspans.iter().sum()];
+        let base: Vec<usize> = nspans
+            .iter()
+            .scan(0, |acc, &n| {
+                let b = *acc;
+                *acc += n;
+                Some(b)
+            })
+            .collect();
+        for (new, &(_, p, s)) in span_keys.iter().enumerate() {
+            new_id[base[p] + s] = SpanId(new as u32);
+        }
+        let remap = |p: usize, id: SpanId| -> SpanId {
+            if id.is_none() {
+                SpanId::NONE
+            } else {
+                new_id[base[p] + id.0 as usize]
+            }
+        };
+        let mut merged = TraceBuffer::default();
+        for &(_, p, s) in &span_keys {
+            let mut span = parts[p].spans[s].clone();
+            span.parent = remap(p, span.parent);
+            merged.spans.push(span);
+        }
+        let mut event_keys: Vec<(SimTime, usize, usize)> = parts
+            .iter()
+            .enumerate()
+            .flat_map(|(p, part)| {
+                part.events
+                    .iter()
+                    .enumerate()
+                    .map(move |(e, ev)| (ev.at, p, e))
+            })
+            .collect();
+        event_keys.sort();
+        for &(_, p, e) in &event_keys {
+            let mut ev = parts[p].events[e].clone();
+            ev.parent = remap(p, ev.parent);
+            merged.events.push(ev);
+        }
+        merged.metrics = MetricsRegistry::merge(parts.into_iter().map(|b| b.metrics).collect());
+        merged
+    }
+
     /// Rebuild a [`PhaseTimeline`] from the closed phase spans.
     ///
     /// Phase spans are emitted in chronological, non-overlapping order by
@@ -355,6 +436,16 @@ impl Recorder {
             Sink::Memory(buf) => Some(f(&buf.borrow())),
         }
     }
+
+    /// Take sole ownership of the buffer, e.g. to hand it to
+    /// [`TraceBuffer::merge`] after a worker finishes. Returns `None` when
+    /// the sink is off or other clones of this recorder are still alive.
+    pub fn into_buffer(self) -> Option<TraceBuffer> {
+        match self.sink {
+            Sink::Off => None,
+            Sink::Memory(buf) => Rc::try_unwrap(buf).ok().map(RefCell::into_inner),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -420,6 +511,55 @@ mod tests {
         assert_eq!(tl.records().len(), 3);
         assert_eq!(tl.makespan().as_secs_f64(), 15.0);
         assert_eq!(tl.time_in(JobPhase::Visualize).as_secs_f64(), 2.0);
+    }
+
+    #[test]
+    fn merge_orders_spans_by_sim_time_and_remaps_parents() {
+        // Two workers trace disjoint sim-time windows, out of order.
+        let late = Recorder::in_memory();
+        let root_b = late.span(t(10.0), "window-b", Component::Compute);
+        let inner_b = late.phase_span(t(11.0), JobPhase::Visualize, Component::Viz);
+        late.event(t(11.5), "tick", Component::Viz, &[]);
+        late.close(t(12.0), inner_b);
+        late.close(t(15.0), root_b);
+
+        let early = Recorder::in_memory();
+        let root_a = early.span(t(0.0), "window-a", Component::Compute);
+        let inner_a = early.phase_span(t(1.0), JobPhase::Simulate, Component::Compute);
+        early.close(t(5.0), inner_a);
+        early.close(t(9.0), root_a);
+
+        let merged = TraceBuffer::merge(vec![
+            late.into_buffer().unwrap(),
+            early.into_buffer().unwrap(),
+        ]);
+        let names: Vec<_> = merged.spans().iter().map(|s| s.name).collect();
+        assert_eq!(names, ["window-a", "simulate", "window-b", "visualize"]);
+        // Parent links survive the renumbering.
+        assert_eq!(merged.spans()[1].parent, SpanId(0));
+        assert_eq!(merged.spans()[3].parent, SpanId(2));
+        assert_eq!(merged.events()[0].parent, SpanId(3));
+        // Phase spans land in chronological order, so the timeline builds.
+        let tl = merged.phase_timeline();
+        assert_eq!(tl.records().len(), 2);
+        assert_eq!(tl.time_in(JobPhase::Simulate).as_secs_f64(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "open span")]
+    fn merge_rejects_open_spans() {
+        let rec = Recorder::in_memory();
+        let _open = rec.span(t(0.0), "dangling", Component::Compute);
+        let _ = TraceBuffer::merge(vec![rec.into_buffer().unwrap()]);
+    }
+
+    #[test]
+    fn into_buffer_requires_sole_ownership() {
+        let rec = Recorder::in_memory();
+        let clone = rec.clone();
+        assert!(rec.into_buffer().is_none(), "clone still alive");
+        assert!(clone.into_buffer().is_some());
+        assert!(Recorder::off().into_buffer().is_none());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 use crate::field::Field2D;
 use crate::grid::Grid;

@@ -31,7 +31,11 @@ impl Rgb {
     /// Linear interpolation between two colors, `t ∈ [0, 1]`.
     pub fn lerp(a: Rgb, b: Rgb, t: f64) -> Rgb {
         let t = t.clamp(0.0, 1.0);
-        let mix = |x: u8, y: u8| -> u8 { (x as f64 + (y as f64 - x as f64) * t).round() as u8 };
+        // The blend stays in [0, 255], where adding 0.5 is exact (0.5 is
+        // a multiple of the ulp), so truncation equals `.round()`'s
+        // half-away-from-zero for every input — without its libm call,
+        // which dominates the per-pixel cost of the render hot path.
+        let mix = |x: u8, y: u8| -> u8 { (x as f64 + (y as f64 - x as f64) * t + 0.5) as u8 };
         Rgb::new(mix(a.r, b.r), mix(a.g, b.g), mix(a.b, b.b))
     }
 }

@@ -11,7 +11,7 @@ use ivis_ocean::Field2D;
 use rayon::prelude::*;
 
 use crate::color::{Colormap, Rgb};
-use crate::raster::ImageBuffer;
+use crate::raster::{ImageBuffer, SampleTables};
 
 /// One rank's rendered band.
 #[derive(Debug, Clone)]
@@ -35,18 +35,13 @@ pub fn render_distributed(
     hi: f64,
 ) -> ImageBuffer {
     assert!(nranks > 0 && nranks <= height, "invalid rank count");
+    let tables = SampleTables::new(field, width, height);
     let bands: Vec<RenderedBand> = decompose_rows(height, nranks)
         .par_iter()
         .map(|slab| {
-            let mut pixels = Vec::with_capacity(width * slab.rows());
-            let (nx, ny) = (field.nx() as f64, field.ny() as f64);
-            for y in slab.row_start..slab.row_end {
-                let fy = (1.0 - (y as f64 + 0.5) / height as f64) * ny - 0.5;
-                for x in 0..width {
-                    let fx = (x as f64 + 0.5) / width as f64 * nx - 0.5;
-                    let v = crate::raster::sample_bilinear(field, fx, fy);
-                    pixels.push(colormap.map(v, lo, hi));
-                }
+            let mut pixels = vec![Rgb::BLACK; width * slab.rows()];
+            for (r, row) in pixels.chunks_mut(width).enumerate() {
+                tables.shade_row(slab.row_start + r, colormap, lo, hi, row);
             }
             RenderedBand {
                 row_start: slab.row_start,

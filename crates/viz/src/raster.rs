@@ -97,10 +97,128 @@ pub fn sample_bilinear(field: &Field2D, fx: f64, fy: f64) -> f64 {
     top * (1.0 - ty) + bot * ty
 }
 
+#[derive(Debug, Clone, Copy)]
+struct ColSample {
+    i0: usize,
+    i1: usize,
+    tx: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RowSample {
+    j0: usize,
+    j1: usize,
+    ty: f64,
+}
+
+/// Precomputed bilinear source indices and weights for rendering a field
+/// at a fixed `width × height`.
+///
+/// The per-pixel hot loop of [`sample_bilinear`] spends most of its time
+/// on address arithmetic — two `floor`s and four `rem_euclid` integer
+/// divisions per pixel — that depends only on the pixel's column and row,
+/// not on the field values. Hoisting it into per-column / per-row tables
+/// removes all of it from the inner loop while performing *exactly* the
+/// same float operations in the same order, so the shaded pixels are
+/// bit-identical to the naive path ([`rasterize_reference`]). Shared by
+/// [`rasterize`] and [`crate::compositing::render_distributed`], which is
+/// what makes the two bit-identical to each other.
+#[derive(Debug, Clone)]
+pub struct SampleTables {
+    cols: Vec<ColSample>,
+    rows: Vec<RowSample>,
+    /// Horizontal bilinear blend of every field row at every output column
+    /// (`ny × width`, row-major). The horizontal blend depends only on the
+    /// field row and the output column — not the output row — so with
+    /// `height / ny` output rows per field row it would otherwise be
+    /// recomputed that many times over.
+    hblend: Vec<f64>,
+}
+
+impl SampleTables {
+    /// Precompute the tables for rendering `field` at `width × height`.
+    pub fn new(field: &Field2D, width: usize, height: usize) -> Self {
+        let (nx, ny) = (field.nx() as f64, field.ny() as f64);
+        let nxi = field.nx() as isize;
+        let nyi = field.ny() as isize;
+        let cols: Vec<ColSample> = (0..width)
+            .map(|x| {
+                let fx = (x as f64 + 0.5) / width as f64 * nx - 0.5;
+                let x0 = fx.floor();
+                let i0 = x0 as isize;
+                ColSample {
+                    i0: i0.rem_euclid(nxi) as usize,
+                    i1: (i0 + 1).rem_euclid(nxi) as usize,
+                    tx: fx - x0,
+                }
+            })
+            .collect();
+        let rows = (0..height)
+            .map(|y| {
+                // Flip vertically: image row 0 = field's top row.
+                let fy = (1.0 - (y as f64 + 0.5) / height as f64) * ny - 0.5;
+                let y0 = fy.floor();
+                let j0 = y0 as isize;
+                RowSample {
+                    j0: j0.clamp(0, nyi - 1) as usize,
+                    j1: (j0 + 1).clamp(0, nyi - 1) as usize,
+                    ty: fy - y0,
+                }
+            })
+            .collect();
+        let nxu = field.nx();
+        let data = field.data();
+        let mut hblend = Vec::with_capacity(field.ny() * width);
+        for j in 0..field.ny() {
+            let row = &data[j * nxu..j * nxu + nxu];
+            hblend.extend(
+                cols.iter()
+                    .map(|c| row[c.i0] * (1.0 - c.tx) + row[c.i1] * c.tx),
+            );
+        }
+        SampleTables { cols, rows, hblend }
+    }
+
+    /// Shade image row `y` into `out` (one pixel per column). The field
+    /// values are baked into the tables at construction, so only the
+    /// vertical blend and the colormap run per pixel — with exactly the
+    /// same operations and ordering as [`sample_bilinear`].
+    pub fn shade_row(&self, y: usize, colormap: Colormap, lo: f64, hi: f64, out: &mut [Rgb]) {
+        let width = self.cols.len();
+        let RowSample { j0, j1, ty } = self.rows[y];
+        let top_row = &self.hblend[j0 * width..j0 * width + width];
+        let bot_row = &self.hblend[j1 * width..j1 * width + width];
+        for ((px, &top), &bot) in out.iter_mut().zip(top_row).zip(bot_row) {
+            let v = top * (1.0 - ty) + bot * ty;
+            *px = colormap.map(v, lo, hi);
+        }
+    }
+}
+
 /// Rasterize a scalar field into an image using `colormap` over `(lo, hi)`.
 /// Row 0 of the image corresponds to the *top* (largest y / northernmost
-/// row) of the field. Parallel over image rows.
+/// row) of the field. Table-driven and parallel over image rows;
+/// bit-identical to [`rasterize_reference`] at every thread count.
 pub fn rasterize(
+    field: &Field2D,
+    width: usize,
+    height: usize,
+    colormap: Colormap,
+    lo: f64,
+    hi: f64,
+) -> ImageBuffer {
+    assert!(hi > lo, "rasterize range must have hi > lo");
+    let tables = SampleTables::new(field, width, height);
+    let mut img = ImageBuffer::new(width, height);
+    img.par_rows_mut()
+        .for_each(|(y, row)| tables.shade_row(y, colormap, lo, hi, row));
+    img
+}
+
+/// The original naive renderer: one [`sample_bilinear`] call per pixel,
+/// strictly sequential. Kept as the golden reference for the determinism
+/// suite and as the sequential baseline for the scaling benchmarks.
+pub fn rasterize_reference(
     field: &Field2D,
     width: usize,
     height: usize,
@@ -111,15 +229,15 @@ pub fn rasterize(
     assert!(hi > lo, "rasterize range must have hi > lo");
     let mut img = ImageBuffer::new(width, height);
     let (nx, ny) = (field.nx() as f64, field.ny() as f64);
-    img.par_rows_mut().for_each(|(y, row)| {
+    for y in 0..height {
         // Flip vertically: image row 0 = field's top row.
         let fy = (1.0 - (y as f64 + 0.5) / height as f64) * ny - 0.5;
-        for (x, px) in row.iter_mut().enumerate() {
+        for x in 0..width {
             let fx = (x as f64 + 0.5) / width as f64 * nx - 0.5;
             let v = sample_bilinear(field, fx, fy);
-            *px = colormap.map(v, lo, hi);
+            img.set(x, y, colormap.map(v, lo, hi));
         }
-    });
+    }
     img
 }
 
@@ -171,6 +289,18 @@ mod tests {
         let top_avg: u32 = (0..8).map(|x| img.get(x, 0).r as u32).sum();
         let bottom_avg: u32 = (0..8).map(|x| img.get(x, 7).r as u32).sum();
         assert!(top_avg > bottom_avg, "top {top_avg} vs bottom {bottom_avg}");
+    }
+
+    #[test]
+    fn table_driven_matches_reference_bit_for_bit() {
+        let f = Field2D::from_fn(37, 23, |i, j| {
+            (i as f64 * 0.31).sin() * (j as f64 * 0.17).cos() + (i + j) as f64 * 1e-3
+        });
+        for (w, h) in [(64, 48), (31, 7), (5, 40)] {
+            let fast = rasterize(&f, w, h, Colormap::OkuboWeiss, -1.5, 1.5);
+            let refr = rasterize_reference(&f, w, h, Colormap::OkuboWeiss, -1.5, 1.5);
+            assert_eq!(fast, refr, "mismatch at {w}x{h}");
+        }
     }
 
     #[test]

@@ -61,20 +61,28 @@ impl FieldRenderer {
     }
 
     /// Resolve the active `(lo, hi)` range for a field.
+    ///
+    /// Always returns a finite range with `hi > lo`, even for constant
+    /// fields (min == max), all-NaN fields (whose min/max degenerate to
+    /// `(+∞, −∞)` because `f64::min`/`f64::max` ignore NaN), or fields
+    /// whose statistics are themselves NaN/infinite — so `render` never
+    /// panics on degenerate data.
     pub fn resolve_range(&self, field: &Field2D) -> (f64, f64) {
         match self.range {
             RangeMode::Fixed(lo, hi) => (lo, hi),
             RangeMode::MinMax => {
                 let (lo, hi) = (field.min(), field.max());
-                if hi > lo {
+                if lo.is_finite() && hi.is_finite() && hi > lo {
                     (lo, hi)
-                } else {
+                } else if lo.is_finite() {
                     (lo - 0.5, lo + 0.5) // constant field: any non-empty range
+                } else {
+                    (-0.5, 0.5) // no finite data at all
                 }
             }
             RangeMode::SymmetricSigma(k) => {
                 let s = field.std_dev();
-                let bound = if s > 0.0 { k * s } else { 1.0 };
+                let bound = if s.is_finite() && s > 0.0 { k * s } else { 1.0 };
                 (-bound, bound)
             }
         }
@@ -187,6 +195,41 @@ mod tests {
             };
             let _ = r.render(&f);
         }
+    }
+
+    #[test]
+    fn all_nan_field_renders_without_panic() {
+        // f64::min/max ignore NaN, so an all-NaN field degenerates to
+        // min = +inf, max = -inf; resolve_range must still produce a
+        // usable range and the colormap maps NaN samples to t = 0.
+        let f = Field2D::from_fn(8, 8, |_, _| f64::NAN);
+        for range in [RangeMode::MinMax, RangeMode::SymmetricSigma(2.0)] {
+            let r = FieldRenderer {
+                width: 6,
+                height: 6,
+                colormap: Colormap::Viridis,
+                range,
+            };
+            let (lo, hi) = r.resolve_range(&f);
+            assert!(lo.is_finite() && hi.is_finite() && hi > lo, "{range:?}");
+            let img = r.render(&f);
+            let nan_color = Colormap::Viridis.sample(0.0);
+            assert!(img.fraction_where(|p| p == nan_color) > 0.999);
+        }
+    }
+
+    #[test]
+    fn partially_nan_field_uses_finite_values_for_minmax() {
+        let f = Field2D::from_fn(8, 8, |i, _| if i == 0 { f64::NAN } else { i as f64 });
+        let r = FieldRenderer {
+            width: 4,
+            height: 4,
+            colormap: Colormap::Gray,
+            range: RangeMode::MinMax,
+        };
+        let (lo, hi) = r.resolve_range(&f);
+        assert_eq!((lo, hi), (1.0, 7.0));
+        let _ = r.render(&f);
     }
 
     #[test]

@@ -1,188 +1,862 @@
-//! Offline stand-in for the subset of the `rayon` API this workspace uses.
+//! Offline stand-in for the subset of the `rayon` API this workspace uses,
+//! backed by a real threaded executor.
 //!
-//! The build environment cannot reach crates.io, so `par_iter`,
-//! `par_chunks_mut` and friends are provided here as *sequential* adapters
-//! over the std iterators. Call sites keep rayon idioms (and therefore must
-//! remain free of per-iteration mutable-state dependencies), and the real
-//! crate can be substituted without source changes once a registry is
-//! available.
+//! The build environment cannot reach crates.io, so this crate provides
+//! `par_iter`, `par_iter_mut`, `par_chunks`, `par_chunks_mut` and
+//! `into_par_iter` with the same call-site syntax as rayon, executed by a
+//! chunked work-sharing backend on a lazily-grown persistent worker pool
+//! (like rayon's global pool, so per-call overhead is a queue push rather
+//! than an OS thread spawn) — no dependencies beyond `std`.
 //!
-//! The adapters yield a [`prelude::Par`] wrapper rather than bare std
-//! iterators so that rayon-specific signatures — notably the two-argument
-//! `reduce(identity, op)` — resolve to inherent methods instead of
-//! colliding with `Iterator::reduce`.
+//! ## Execution model
+//!
+//! Every parallel operation follows the same three steps:
+//!
+//! 1. **Chunking.** The index space is split into contiguous chunks whose
+//!    size is a *fixed function of the input length only* (never of the
+//!    thread count): `grain = max(ceil(len / 64), min_grain)`, where
+//!    `min_grain` depends on the source shape (1024 elements for plain
+//!    slices and ranges, 1 for `par_chunks*` and `map`, whose items carry
+//!    unknown work).
+//! 2. **Work sharing.** The caller plus `min(current_num_threads(),
+//!    nchunks) - 1` pool workers pull `(chunk_index, chunk)` pairs from a
+//!    shared queue, so an unevenly loaded chunk does not stall the others.
+//!    With one thread (or one chunk) the chunks run inline on the caller
+//!    and the pool is never touched. While waiting for its helpers, the
+//!    caller drains other pending pool tasks, so nested parallel calls
+//!    cannot deadlock the pool.
+//! 3. **Index-ordered recombination.** Per-chunk results are sorted back
+//!    into chunk-index order before they are combined, so the combination
+//!    shape is identical no matter which thread ran which chunk.
+//!
+//! Because the chunk boundaries and the combination order depend only on
+//! the input, **every operation is bit-identical across thread counts**,
+//! including floating-point reductions: [`Par::reduce`] folds each chunk
+//! sequentially and then combines the per-chunk partials with a
+//! fixed-shape balanced binary tree; [`Par::sum`] left-folds the partials
+//! in chunk order. Inputs no longer than one grain (≤ 1024 elements for
+//! plain slices) occupy a single chunk, which makes the result *also*
+//! bit-identical to a plain sequential `std` fold.
+//!
+//! ## Thread count
+//!
+//! The effective thread count is
+//! `min(available_parallelism, ZSIM_THREADS)`; the `ZSIM_THREADS`
+//! environment variable is read once, on first use. Tests and benchmarks
+//! can override it at runtime (and exceed the hardware count) with
+//! [`set_num_threads`]; [`current_num_threads`] reports the active value.
+//!
+//! ## Faithfulness to rayon
+//!
+//! Reproduced semantics: the two-argument `reduce(identity, op)` (the
+//! identity may be folded into any number of partials, so it must be a
+//! true identity for `op`), index-order-preserving `collect`/`enumerate`,
+//! and `Fn + Sync + Send` closure bounds. Not reproduced: `rayon`'s
+//! adaptive splitting (chunk shape here is static), per-pool
+//! configuration (`ThreadPoolBuilder`), and the long tail of adapters
+//! (`zip`, `flat_map`, `fold`, …) the workspace does not use. Unlike
+//! rayon, reductions here have a *deterministic* float result by design —
+//! real rayon only promises that for associative operations.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+mod pool;
+
+/// Target number of chunks per operation; the real count is
+/// `ceil(len / grain) ≤ TARGET_CHUNKS` once `min_grain` is applied.
+const TARGET_CHUNKS: usize = 64;
+
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
+
+/// The number of worker threads parallel operations currently use:
+/// `min(available_parallelism, ZSIM_THREADS)` unless overridden by
+/// [`set_num_threads`].
+pub fn current_num_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    *DEFAULT_THREADS.get_or_init(|| {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        match std::env::var("ZSIM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            Some(n) if n >= 1 => hw.min(n),
+            _ => hw,
+        }
+    })
+}
+
+/// Override the worker-thread count (shim extension, used by the
+/// determinism tests and the scaling benchmarks). `n = 0` restores the
+/// `min(available_parallelism, ZSIM_THREADS)` default. Unlike the env
+/// default, an explicit override may exceed the hardware parallelism.
+///
+/// Results do not depend on this setting — chunking and combination
+/// order are functions of the input length alone.
+pub fn set_num_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
 
 /// The traits and extension methods callers import with
 /// `use rayon::prelude::*`.
 pub mod prelude {
-    /// Sequential stand-in for a rayon parallel iterator.
-    ///
-    /// Implements [`Iterator`], so std consumers (`sum`, `count`,
-    /// `collect`, `for_each`, `for` loops) work unchanged; rayon-shaped
-    /// combinators are inherent methods, which take precedence over the
-    /// trait methods of the same name and keep chains inside `Par`.
-    pub struct Par<I>(I);
+    pub use super::{
+        IndexedParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator, ParallelSlice,
+    };
+}
 
-    impl<I: Iterator> Iterator for Par<I> {
-        type Item = I::Item;
-        fn next(&mut self) -> Option<I::Item> {
-            self.0.next()
+// ---------------------------------------------------------------------------
+// Splittable sources
+// ---------------------------------------------------------------------------
+
+/// A parallel work source: a length-addressed sequence that can be split
+/// into disjoint contiguous parts, each convertible to a sequential
+/// iterator. All engine scheduling is built on this trait.
+pub trait Splittable: Sized + Send {
+    /// Item the sequential iterator yields.
+    type Item;
+    /// Sequential iterator over one part.
+    type Seq: Iterator<Item = Self::Item>;
+    /// Number of index positions (pre-`filter`).
+    fn len(&self) -> usize;
+    /// Whether the source is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Split into `[0, mid)` and `[mid, len)`.
+    fn split_at(self, mid: usize) -> (Self, Self);
+    /// Consume into a sequential iterator.
+    fn seq(self) -> Self::Seq;
+    /// Smallest chunk worth scheduling independently (a *shape* constant:
+    /// it may depend on the source type, never on the thread count).
+    fn min_grain(&self) -> usize {
+        1024
+    }
+}
+
+/// `par_iter` source: a shared slice.
+pub struct SliceSrc<'a, T>(&'a [T]);
+
+impl<'a, T: Sync> Splittable for SliceSrc<'a, T> {
+    type Item = &'a T;
+    type Seq = std::slice::Iter<'a, T>;
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.0.split_at(mid);
+        (SliceSrc(a), SliceSrc(b))
+    }
+    fn seq(self) -> Self::Seq {
+        self.0.iter()
+    }
+}
+
+/// `par_iter_mut` source: a mutable slice.
+pub struct SliceMutSrc<'a, T>(&'a mut [T]);
+
+impl<'a, T: Send> Splittable for SliceMutSrc<'a, T> {
+    type Item = &'a mut T;
+    type Seq = std::slice::IterMut<'a, T>;
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.0.split_at_mut(mid);
+        (SliceMutSrc(a), SliceMutSrc(b))
+    }
+    fn seq(self) -> Self::Seq {
+        self.0.iter_mut()
+    }
+}
+
+/// `par_chunks` source. Length is counted in chunks; splits land on chunk
+/// boundaries so chunk shapes match `slice::chunks` exactly.
+pub struct ChunksSrc<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> Splittable for ChunksSrc<'a, T> {
+    type Item = &'a [T];
+    type Seq = std::slice::Chunks<'a, T>;
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at(mid * self.size);
+        (
+            ChunksSrc {
+                slice: a,
+                size: self.size,
+            },
+            ChunksSrc {
+                slice: b,
+                size: self.size,
+            },
+        )
+    }
+    fn seq(self) -> Self::Seq {
+        self.slice.chunks(self.size)
+    }
+    fn min_grain(&self) -> usize {
+        1 // each item is a whole chunk; assume it carries real work
+    }
+}
+
+/// `par_chunks_mut` source.
+pub struct ChunksMutSrc<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> Splittable for ChunksMutSrc<'a, T> {
+    type Item = &'a mut [T];
+    type Seq = std::slice::ChunksMut<'a, T>;
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at_mut(mid * self.size);
+        (
+            ChunksMutSrc {
+                slice: a,
+                size: self.size,
+            },
+            ChunksMutSrc {
+                slice: b,
+                size: self.size,
+            },
+        )
+    }
+    fn seq(self) -> Self::Seq {
+        self.slice.chunks_mut(self.size)
+    }
+    fn min_grain(&self) -> usize {
+        1
+    }
+}
+
+/// `into_par_iter` source for owned vectors.
+pub struct VecSrc<T>(Vec<T>);
+
+impl<T: Send> Splittable for VecSrc<T> {
+    type Item = T;
+    type Seq = std::vec::IntoIter<T>;
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(mut self, mid: usize) -> (Self, Self) {
+        let tail = self.0.split_off(mid);
+        (self, VecSrc(tail))
+    }
+    fn seq(self) -> Self::Seq {
+        self.0.into_iter()
+    }
+    fn min_grain(&self) -> usize {
+        1 // owned items are usually configs/tasks, not scalars
+    }
+}
+
+/// `into_par_iter` source for integer ranges.
+pub struct RangeSrc<T> {
+    start: T,
+    end: T,
+}
+
+macro_rules! range_splittable {
+    ($($t:ty),*) => {$(
+        impl Splittable for RangeSrc<$t> {
+            type Item = $t;
+            type Seq = std::ops::Range<$t>;
+            fn len(&self) -> usize {
+                (self.end.max(self.start) - self.start) as usize
+            }
+            fn split_at(self, mid: usize) -> (Self, Self) {
+                let cut = self.start + mid as $t;
+                (
+                    RangeSrc { start: self.start, end: cut },
+                    RangeSrc { start: cut, end: self.end },
+                )
+            }
+            fn seq(self) -> Self::Seq {
+                self.start..self.end
+            }
         }
-        fn size_hint(&self) -> (usize, Option<usize>) {
-            self.0.size_hint()
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = Par<RangeSrc<$t>>;
+            fn into_par_iter(self) -> Self::Iter {
+                Par(RangeSrc { start: self.start, end: self.end })
+            }
         }
+    )*};
+}
+
+range_splittable!(usize, u32, u64, i32, i64);
+
+/// `map` adapter: applies `f` lazily inside each chunk.
+pub struct MapSrc<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, B, F> Splittable for MapSrc<S, F>
+where
+    S: Splittable,
+    F: Fn(S::Item) -> B + Clone + Send,
+{
+    type Item = B;
+    type Seq = std::iter::Map<S::Seq, F>;
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.inner.split_at(mid);
+        (
+            MapSrc {
+                inner: a,
+                f: self.f.clone(),
+            },
+            MapSrc {
+                inner: b,
+                f: self.f,
+            },
+        )
+    }
+    fn seq(self) -> Self::Seq {
+        self.inner.seq().map(self.f)
+    }
+    fn min_grain(&self) -> usize {
+        1 // the closure's per-item cost is unknown; let it parallelize
+    }
+}
+
+/// `filter` adapter. Splits on the *pre-filter* index space, so chunk
+/// boundaries (and therefore reduction shapes) ignore the predicate.
+pub struct FilterSrc<S, P> {
+    inner: S,
+    p: P,
+}
+
+impl<S, P> Splittable for FilterSrc<S, P>
+where
+    S: Splittable,
+    P: Fn(&S::Item) -> bool + Clone + Send,
+{
+    type Item = S::Item;
+    type Seq = std::iter::Filter<S::Seq, P>;
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.inner.split_at(mid);
+        (
+            FilterSrc {
+                inner: a,
+                p: self.p.clone(),
+            },
+            FilterSrc {
+                inner: b,
+                p: self.p,
+            },
+        )
+    }
+    fn seq(self) -> Self::Seq {
+        self.inner.seq().filter(self.p)
+    }
+    fn min_grain(&self) -> usize {
+        self.inner.min_grain()
+    }
+}
+
+/// `enumerate` adapter: pairs items with their global index, preserved
+/// across splits via an offset.
+pub struct EnumSrc<S> {
+    inner: S,
+    offset: usize,
+}
+
+impl<S: Splittable> Splittable for EnumSrc<S> {
+    type Item = (usize, S::Item);
+    type Seq = std::iter::Zip<std::ops::Range<usize>, S::Seq>;
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.inner.split_at(mid);
+        (
+            EnumSrc {
+                inner: a,
+                offset: self.offset,
+            },
+            EnumSrc {
+                inner: b,
+                offset: self.offset + mid,
+            },
+        )
+    }
+    fn seq(self) -> Self::Seq {
+        let n = self.inner.len();
+        (self.offset..self.offset + n).zip(self.inner.seq())
+    }
+    fn min_grain(&self) -> usize {
+        self.inner.min_grain()
+    }
+}
+
+/// `copied` adapter for by-reference iterators.
+pub struct CopiedSrc<S>(S);
+
+impl<'a, T, S> Splittable for CopiedSrc<S>
+where
+    T: 'a + Copy,
+    S: Splittable<Item = &'a T>,
+{
+    type Item = T;
+    type Seq = std::iter::Copied<S::Seq>;
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.0.split_at(mid);
+        (CopiedSrc(a), CopiedSrc(b))
+    }
+    fn seq(self) -> Self::Seq {
+        self.0.seq().copied()
+    }
+    fn min_grain(&self) -> usize {
+        self.0.min_grain()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The engine
+// ---------------------------------------------------------------------------
+
+/// Chunk `src` by the fixed grain rule, process every chunk with `f`
+/// (across worker threads when it pays), and return the per-chunk results
+/// in chunk-index order.
+fn drive<S, R, F>(src: S, f: F) -> Vec<R>
+where
+    S: Splittable,
+    R: Send,
+    F: Fn(S) -> R + Sync,
+{
+    let len = src.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    // Shape depends only on the input: identical at every thread count.
+    let grain = len.div_ceil(TARGET_CHUNKS).max(src.min_grain()).max(1);
+    let nchunks = len.div_ceil(grain);
+    let mut parts = Vec::with_capacity(nchunks);
+    let mut rest = src;
+    while rest.len() > grain {
+        let (head, tail) = rest.split_at(grain);
+        parts.push(head);
+        rest = tail;
+    }
+    parts.push(rest);
+
+    let threads = current_num_threads().min(parts.len());
+    if threads <= 1 {
+        return parts.into_iter().map(f).collect();
     }
 
-    impl<I: Iterator> Par<I> {
-        /// Transform each item (stays in `Par` so `reduce` keeps rayon's
-        /// two-argument form downstream).
-        pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> Par<std::iter::Map<I, F>> {
-            Par(self.0.map(f))
-        }
+    // Work sharing: the caller and `threads - 1` pool helpers pull
+    // (index, chunk) pairs from a shared queue so stragglers don't
+    // serialize the run; indices restore the order afterwards.
+    let run = Run {
+        queue: Mutex::new(parts.into_iter().enumerate()),
+        results: Mutex::new(Vec::with_capacity(nchunks)),
+        panic: Mutex::new(None),
+        pending: Mutex::new(threads - 1),
+        done: Condvar::new(),
+        f,
+    };
+    let addr = require_sync(&run) as *const Run<S, R, F> as usize;
+    // SAFETY: `addr` stays valid because this function does not return (or
+    // unwind) until `pending` reaches zero, i.e. until every submitted
+    // helper has finished touching `run`; `Run` is `Sync` (checked above),
+    // so helpers may share it from any thread.
+    let tasks = (0..threads - 1)
+        .map(|_| unsafe { pool::Task::new(addr, helper_entry::<S, R, F>) })
+        .collect();
+    pool::submit(threads - 1, tasks);
+    work_on(&run);
 
-        /// Keep items matching the predicate.
-        pub fn filter<P: FnMut(&I::Item) -> bool>(self, p: P) -> Par<std::iter::Filter<I, P>> {
-            Par(self.0.filter(p))
+    // Wait for the helpers, draining queued pool tasks meanwhile so a
+    // nested parallel call can't deadlock: every waiting caller is also a
+    // consumer, so queued tasks always make progress. Once the queue is
+    // empty this run's helpers are all in-flight on workers (tasks queued
+    // later can't be prerequisites of ours), so blocking is safe.
+    loop {
+        if *run.pending.lock().unwrap() == 0 {
+            break;
         }
-
-        /// Pair each item with its index.
-        pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
-            Par(self.0.enumerate())
+        if let Some(task) = pool::try_pop() {
+            task.run();
+            continue;
         }
+        let mut pending = run.pending.lock().unwrap();
+        while *pending > 0 {
+            pending = run.done.wait(pending).unwrap();
+        }
+        break;
+    }
 
-        /// rayon-style fold: combine items with `op` starting from
-        /// `identity()` (rayon calls `identity` once per split; one call
-        /// suffices sequentially).
-        pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
-        where
-            ID: Fn() -> I::Item,
-            OP: Fn(I::Item, I::Item) -> I::Item,
-        {
+    let Run { results, panic, .. } = run;
+    if let Some(payload) = panic.into_inner().unwrap() {
+        std::panic::resume_unwind(payload);
+    }
+    let mut tagged = results.into_inner().unwrap();
+    tagged.sort_unstable_by_key(|&(idx, _)| idx);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Shared state of one in-flight `drive` call. Lives on the caller's
+/// stack; helpers reach it through an erased address (see [`pool`]).
+struct Run<S: Splittable, R, F> {
+    queue: Mutex<std::iter::Enumerate<std::vec::IntoIter<S>>>,
+    results: Mutex<Vec<(usize, R)>>,
+    /// First panic payload from any chunk, re-thrown on the caller.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Helpers that have not finished yet; guards the lifetime of `Run`.
+    pending: Mutex<usize>,
+    done: Condvar,
+    f: F,
+}
+
+fn require_sync<T: Sync>(t: &T) -> &T {
+    t
+}
+
+/// Pull chunks until the queue is empty. Panics from `f` are caught and
+/// recorded (first wins) and the queue is drained so other workers stop
+/// early; the caller re-throws after all helpers finish.
+fn work_on<S, R, F>(run: &Run<S, R, F>)
+where
+    S: Splittable,
+    R: Send,
+    F: Fn(S) -> R + Sync,
+{
+    loop {
+        let next = run.queue.lock().unwrap().next();
+        let Some((idx, part)) = next else { break };
+        match std::panic::catch_unwind(AssertUnwindSafe(|| (run.f)(part))) {
+            Ok(r) => run.results.lock().unwrap().push((idx, r)),
+            Err(payload) => {
+                let mut slot = run.panic.lock().unwrap();
+                slot.get_or_insert(payload);
+                drop(slot);
+                let mut q = run.queue.lock().unwrap();
+                while q.next().is_some() {}
+                break;
+            }
+        }
+    }
+}
+
+/// Pool entry point for one helper of one `drive` call.
+///
+/// # Safety
+///
+/// `addr` must point to a live `Run<S, R, F>` and stay valid until this
+/// function returns — guaranteed by `drive`, which blocks until `pending`
+/// hits zero.
+unsafe fn helper_entry<S, R, F>(addr: usize)
+where
+    S: Splittable,
+    R: Send,
+    F: Fn(S) -> R + Sync,
+{
+    let run = &*(addr as *const Run<S, R, F>);
+    work_on(run);
+    let mut pending = run.pending.lock().unwrap();
+    *pending -= 1;
+    if *pending == 0 {
+        run.done.notify_all();
+    }
+}
+
+/// Combine per-chunk partials with a balanced binary tree (pairwise
+/// rounds). The shape depends only on `partials.len()`, which depends
+/// only on the input length — never on the thread count.
+fn tree_combine<T>(mut partials: Vec<T>, op: &(impl Fn(T, T) -> T + ?Sized)) -> Option<T> {
+    while partials.len() > 1 {
+        let mut next = Vec::with_capacity(partials.len().div_ceil(2));
+        let mut it = partials.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(op(a, b)),
+                None => next.push(a),
+            }
+        }
+        partials = next;
+    }
+    partials.pop()
+}
+
+// ---------------------------------------------------------------------------
+// The parallel iterator wrapper
+// ---------------------------------------------------------------------------
+
+/// A parallel iterator over a [`Splittable`] source. Combinators are
+/// inherent methods (so rayon's two-argument `reduce` never collides with
+/// `Iterator::reduce`); consumption happens through the
+/// [`ParallelIterator`] trait or the inherent terminals below.
+pub struct Par<S>(S);
+
+impl<S: Splittable> Par<S> {
+    /// Transform each item.
+    pub fn map<B, F>(self, f: F) -> Par<MapSrc<S, F>>
+    where
+        F: Fn(S::Item) -> B + Sync + Send + Clone,
+    {
+        Par(MapSrc { inner: self.0, f })
+    }
+
+    /// Keep items matching the predicate.
+    pub fn filter<P>(self, p: P) -> Par<FilterSrc<S, P>>
+    where
+        P: Fn(&S::Item) -> bool + Sync + Send + Clone,
+    {
+        Par(FilterSrc { inner: self.0, p })
+    }
+
+    /// Pair each item with its index.
+    pub fn enumerate(self) -> Par<EnumSrc<S>> {
+        Par(EnumSrc {
+            inner: self.0,
+            offset: 0,
+        })
+    }
+
+    /// rayon-style reduce: fold each chunk from `identity()`, then combine
+    /// the per-chunk partials with a fixed-shape balanced tree, so float
+    /// results are identical regardless of thread count. `op` must treat
+    /// `identity()` as a true identity (rayon requires the same).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> S::Item
+    where
+        S::Item: Send,
+        ID: Fn() -> S::Item + Sync + Send,
+        OP: Fn(S::Item, S::Item) -> S::Item + Sync + Send,
+    {
+        let partials = drive(self.0, |chunk| {
             let mut acc = identity();
-            for x in self.0 {
+            for x in chunk.seq() {
                 acc = op(acc, x);
             }
             acc
-        }
+        });
+        tree_combine(partials, &op).unwrap_or_else(identity)
     }
 
-    impl<'a, T: 'a + Copy, I: Iterator<Item = &'a T>> Par<I> {
-        /// Copy out of a by-reference iterator.
-        pub fn copied(self) -> Par<std::iter::Copied<I>> {
-            Par(self.0.copied())
-        }
+    /// Sum the items: per-chunk sequential sums, left-folded in chunk
+    /// order (fixed shape, deterministic across thread counts).
+    pub fn sum<T>(self) -> T
+    where
+        T: std::iter::Sum<S::Item> + std::iter::Sum<T> + Send,
+    {
+        drive(self.0, |chunk| chunk.seq().sum::<T>())
+            .into_iter()
+            .sum()
     }
 
-    /// Marker for iterators whose items arrive in index order. With the
-    /// sequential backend every std iterator qualifies.
-    pub trait IndexedParallelIterator: Iterator {}
-
-    impl<I: Iterator> IndexedParallelIterator for I {}
-
-    /// Alias trait mirroring rayon's base parallel-iterator bound.
-    pub trait ParallelIterator: Iterator {}
-
-    impl<I: Iterator> ParallelIterator for I {}
-
-    /// `par_iter` on shared slices.
-    pub trait IntoParallelRefIterator<'a> {
-        /// Item type yielded by the iterator.
-        type Item;
-        /// Sequential stand-in iterator type.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Iterate the collection "in parallel" (sequentially here).
-        fn par_iter(&'a self) -> Self::Iter;
+    /// Count the items surviving the chain.
+    pub fn count(self) -> usize {
+        drive(self.0, |chunk| chunk.seq().count()).into_iter().sum()
     }
 
-    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
-        type Item = &'a T;
-        type Iter = Par<std::slice::Iter<'a, T>>;
-        fn par_iter(&'a self) -> Self::Iter {
-            Par(self.iter())
-        }
+    /// Collect into a container, preserving index order.
+    pub fn collect<C>(self) -> C
+    where
+        S::Item: Send,
+        C: FromIterator<S::Item>,
+    {
+        drive(self.0, |chunk| chunk.seq().collect::<Vec<_>>())
+            .into_iter()
+            .flatten()
+            .collect()
     }
+}
 
-    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
-        type Item = &'a T;
-        type Iter = Par<std::slice::Iter<'a, T>>;
-        fn par_iter(&'a self) -> Self::Iter {
-            Par(self.iter())
-        }
+impl<'a, T, S> Par<S>
+where
+    T: 'a + Copy + Sync,
+    S: Splittable<Item = &'a T>,
+{
+    /// Copy out of a by-reference iterator.
+    pub fn copied(self) -> Par<CopiedSrc<S>> {
+        Par(CopiedSrc(self.0))
     }
+}
 
-    /// `par_iter_mut` on mutable slices.
-    pub trait IntoParallelRefMutIterator<'a> {
-        /// Item type yielded by the iterator.
-        type Item;
-        /// Sequential stand-in iterator type.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Mutably iterate the collection "in parallel" (sequentially here).
-        fn par_iter_mut(&'a mut self) -> Self::Iter;
+/// Base parallel-iterator bound: consumable in parallel.
+pub trait ParallelIterator: Sized {
+    /// Item type.
+    type Item;
+    /// Run `op` on every item; chunks execute across worker threads.
+    fn for_each<OP>(self, op: OP)
+    where
+        OP: Fn(Self::Item) + Sync + Send;
+}
+
+impl<S: Splittable> ParallelIterator for Par<S> {
+    type Item = S::Item;
+    fn for_each<OP>(self, op: OP)
+    where
+        OP: Fn(Self::Item) + Sync + Send,
+    {
+        drive(self.0, |chunk| {
+            for x in chunk.seq() {
+                op(x);
+            }
+        });
     }
+}
 
-    impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for [T] {
-        type Item = &'a mut T;
-        type Iter = Par<std::slice::IterMut<'a, T>>;
-        fn par_iter_mut(&'a mut self) -> Self::Iter {
-            Par(self.iter_mut())
-        }
+/// Marker for iterators whose items arrive in index order; every source
+/// here is index-ordered by construction.
+pub trait IndexedParallelIterator: ParallelIterator {}
+
+impl<S: Splittable> IndexedParallelIterator for Par<S> {}
+
+// ---------------------------------------------------------------------------
+// Entry-point traits
+// ---------------------------------------------------------------------------
+
+/// `par_iter` on shared collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type yielded by the iterator.
+    type Item;
+    /// Parallel iterator type.
+    type Iter;
+    /// Iterate the collection in parallel.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = Par<SliceSrc<'a, T>>;
+    fn par_iter(&'a self) -> Self::Iter {
+        Par(SliceSrc(self))
     }
+}
 
-    impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
-        type Item = &'a mut T;
-        type Iter = Par<std::slice::IterMut<'a, T>>;
-        fn par_iter_mut(&'a mut self) -> Self::Iter {
-            Par(self.iter_mut())
-        }
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = Par<SliceSrc<'a, T>>;
+    fn par_iter(&'a self) -> Self::Iter {
+        Par(SliceSrc(self))
     }
+}
 
-    /// `par_chunks` / `par_chunks_mut` on slices.
-    pub trait ParallelSlice<T> {
-        /// Chunked shared iteration.
-        fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>>;
-        /// Chunked mutable iteration.
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+/// `par_iter_mut` on mutable collections.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Item type yielded by the iterator.
+    type Item;
+    /// Parallel iterator type.
+    type Iter;
+    /// Mutably iterate the collection in parallel.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: 'a + Send> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    type Iter = Par<SliceMutSrc<'a, T>>;
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        Par(SliceMutSrc(self))
     }
+}
 
-    impl<T> ParallelSlice<T> for [T] {
-        fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>> {
-            Par(self.chunks(chunk_size))
-        }
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
-            Par(self.chunks_mut(chunk_size))
-        }
+impl<'a, T: 'a + Send> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    type Iter = Par<SliceMutSrc<'a, T>>;
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        Par(SliceMutSrc(self))
     }
+}
 
-    /// `into_par_iter` on owned collections and ranges.
-    pub trait IntoParallelIterator {
-        /// Item type yielded by the iterator.
-        type Item;
-        /// Sequential stand-in iterator type.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Consume `self` into a "parallel" (sequential) iterator.
-        fn into_par_iter(self) -> Self::Iter;
+/// `par_chunks` / `par_chunks_mut` on slices.
+pub trait ParallelSlice<T> {
+    /// Chunked shared iteration.
+    fn par_chunks(&self, chunk_size: usize) -> Par<ChunksSrc<'_, T>>;
+    /// Chunked mutable iteration.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<ChunksMutSrc<'_, T>>;
+}
+
+impl<T: Sync + Send> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> Par<ChunksSrc<'_, T>> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        Par(ChunksSrc {
+            slice: self,
+            size: chunk_size,
+        })
     }
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<ChunksMutSrc<'_, T>> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        Par(ChunksMutSrc {
+            slice: self,
+            size: chunk_size,
+        })
+    }
+}
 
-    impl<I: IntoIterator> IntoParallelIterator for I {
-        type Item = I::Item;
-        type Iter = Par<I::IntoIter>;
-        fn into_par_iter(self) -> Self::Iter {
-            Par(self.into_iter())
-        }
+/// `into_par_iter` on owned collections and ranges.
+pub trait IntoParallelIterator {
+    /// Item type yielded by the iterator.
+    type Item;
+    /// Parallel iterator type.
+    type Iter;
+    /// Consume `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = Par<VecSrc<T>>;
+    fn into_par_iter(self) -> Self::Iter {
+        Par(VecSrc(self))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::set_num_threads;
+
+    /// Run `f` once per thread count; every invocation must agree.
+    fn at_thread_counts<R: PartialEq + std::fmt::Debug>(f: impl Fn() -> R) -> R {
+        let base = {
+            set_num_threads(1);
+            f()
+        };
+        for n in [2, 3, 8] {
+            set_num_threads(n);
+            assert_eq!(f(), base, "result changed at {n} threads");
+        }
+        set_num_threads(0);
+        base
+    }
 
     #[test]
     fn slice_adapters_behave_like_std() {
-        let v = vec![1.0f64, 2.0, 3.0, 4.0];
-        let s: f64 = v.par_iter().sum();
-        assert_eq!(s, 10.0);
-        let n = v.par_iter().filter(|&&x| x > 2.0).count();
-        assert_eq!(n, 2);
+        let v: Vec<f64> = (0..5000).map(|i| i as f64 * 0.25).collect();
+        let s = at_thread_counts(|| v.par_iter().sum::<f64>());
+        assert_eq!(s, v.iter().sum::<f64>()); // ≤ one grain per chunk path
+        let n = at_thread_counts(|| v.par_iter().filter(|&&x| x > 100.0).count());
+        assert_eq!(n, v.iter().filter(|&&x| x > 100.0).count());
         let mut rows = vec![0u32; 6];
         rows.par_chunks_mut(3).enumerate().for_each(|(j, row)| {
             for r in row {
@@ -199,6 +873,17 @@ mod tests {
         assert_eq!(max_abs, 7.0);
         let min = v.par_iter().copied().reduce(|| f64::INFINITY, f64::min);
         assert_eq!(min, -7.0);
+    }
+
+    #[test]
+    fn reduce_is_bit_identical_across_thread_counts() {
+        // Sum of many irrational-ish floats: any change in combination
+        // shape shows up in the low bits.
+        let v: Vec<f64> = (0..100_000).map(|i| (i as f64 * 0.1).sin()).collect();
+        let bits =
+            at_thread_counts(|| v.par_iter().copied().reduce(|| 0.0, |a, b| a + b).to_bits());
+        let again = v.par_iter().copied().reduce(|| 0.0, |a, b| a + b).to_bits();
+        assert_eq!(bits, again);
     }
 
     #[test]
@@ -220,5 +905,21 @@ mod tests {
         assert_eq!(total, 45);
         let doubled: Vec<i32> = vec![1, 2, 3].par_iter().map(|x| x * 2).collect();
         assert_eq!(doubled, [2, 4, 6]);
+        let big: Vec<usize> = at_thread_counts(|| {
+            (0..10_000usize)
+                .into_par_iter()
+                .map(|i| i * i)
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(big.len(), 10_000);
+        assert_eq!(big[9999], 9999 * 9999);
+    }
+
+    #[test]
+    fn filter_count_matches_std_under_threads() {
+        let v: Vec<f64> = (0..20_000).map(|i| (i as f64 * 0.37).cos()).collect();
+        let expect = v.iter().filter(|&&x| x > 0.25).count();
+        let got = at_thread_counts(|| v.par_iter().filter(|&&x| x > 0.25).count());
+        assert_eq!(got, expect);
     }
 }

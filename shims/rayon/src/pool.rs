@@ -1,0 +1,97 @@
+//! A lazily-grown persistent worker pool.
+//!
+//! Spawning an OS thread costs tens of microseconds — paid *per parallel
+//! call* with scoped threads, which swamps small operations. Like rayon's
+//! global pool, workers here are spawned once (on first demand, growing up
+//! to the largest thread count ever requested) and then sleep on a condvar
+//! between tasks, so the steady-state cost of a parallel call is a queue
+//! push and a wakeup.
+//!
+//! A task is an erased `(data, call)` pair rather than a
+//! `Box<dyn FnOnce + 'static>` because the work it references lives on the
+//! *caller's* stack (borrowed chunk queues and closures, which are not
+//! `'static`). Soundness is the caller's obligation: it must not return
+//! until every task it submitted has finished running — see
+//! [`crate::drive`], which blocks on a completion count and meanwhile
+//! drains other pending tasks via [`try_pop`] so that nested parallel
+//! calls can never deadlock the pool.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// A type-erased task: `call(data)` where `data` is an address the
+/// submitter guarantees stays valid until the task completes.
+pub(crate) struct Task {
+    data: usize,
+    call: unsafe fn(usize),
+}
+
+impl Task {
+    /// # Safety
+    ///
+    /// `data` must remain valid for `call` until [`Task::run`] returns,
+    /// and `call` must tolerate running on any thread.
+    pub(crate) unsafe fn new(data: usize, call: unsafe fn(usize)) -> Self {
+        Task { data, call }
+    }
+
+    pub(crate) fn run(self) {
+        // SAFETY: guaranteed by the contract of `Task::new`.
+        unsafe { (self.call)(self.data) }
+    }
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Task>>,
+    /// Signalled when tasks are pushed; workers sleep here when idle.
+    available: Condvar,
+    /// Number of workers spawned so far (the pool only ever grows).
+    spawned: Mutex<usize>,
+}
+
+fn shared() -> &'static Shared {
+    static POOL: OnceLock<Shared> = OnceLock::new();
+    POOL.get_or_init(|| Shared {
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        spawned: Mutex::new(0),
+    })
+}
+
+fn worker(pool: &'static Shared) {
+    loop {
+        let task = {
+            let mut q = pool.queue.lock().unwrap();
+            loop {
+                match q.pop_front() {
+                    Some(t) => break t,
+                    None => q = pool.available.wait(q).unwrap(),
+                }
+            }
+        };
+        task.run();
+    }
+}
+
+/// Queue `tasks`, first growing the pool so at least `want` workers exist.
+pub(crate) fn submit(want: usize, tasks: Vec<Task>) {
+    let pool = shared();
+    {
+        let mut spawned = pool.spawned.lock().unwrap();
+        while *spawned < want {
+            std::thread::Builder::new()
+                .name("zsim-rayon-worker".into())
+                .spawn(move || worker(pool))
+                .expect("failed to spawn pool worker");
+            *spawned += 1;
+        }
+    }
+    pool.queue.lock().unwrap().extend(tasks);
+    pool.available.notify_all();
+}
+
+/// Pop one pending task, if any. Callers waiting on their own tasks run
+/// other queued work through this instead of sleeping.
+pub(crate) fn try_pop() -> Option<Task> {
+    shared().queue.lock().unwrap().pop_front()
+}

@@ -1,0 +1,169 @@
+//! Determinism of the threaded rayon shim across thread counts.
+//!
+//! The shim's contract is that chunk shapes and combination order are
+//! functions of the input alone, so every parallel hot path — rendering,
+//! the Okubo-Weiss kernel, band compositing, the Eq. 4 what-if sweeps,
+//! and the campaign fan-out — must produce **bit-identical** output at
+//! any thread count, and match the sequential reference implementations
+//! (`rasterize_reference` is the seed's original single-threaded
+//! renderer, kept verbatim as the golden).
+//!
+//! `rayon::set_num_threads` is process-global, and these tests run
+//! concurrently on the harness's own threads; that is harmless precisely
+//! *because* of the contract under test — results cannot depend on the
+//! momentary thread count — but it means no test may assume a particular
+//! setting is still active while it computes.
+
+use ivis_bench::run_matrix_parallel;
+use ivis_core::campaign::Campaign;
+use ivis_core::{PipelineConfig, PipelineKind};
+use ivis_model::WhatIfAnalyzer;
+use ivis_ocean::grid::Grid;
+use ivis_ocean::okubo_weiss::okubo_weiss;
+use ivis_ocean::{Field2D, ProblemSpec, SamplingRate};
+use ivis_viz::compositing::render_distributed;
+use ivis_viz::raster::{rasterize, rasterize_reference};
+use ivis_viz::render::FieldRenderer;
+use ivis_viz::Colormap;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Run `f` at each thread count and assert every result equals the first.
+fn identical_at_all_thread_counts<R: PartialEq + std::fmt::Debug>(f: impl Fn() -> R) -> R {
+    let mut out = None;
+    for n in THREAD_COUNTS {
+        rayon::set_num_threads(n);
+        let r = f();
+        match &out {
+            None => out = Some(r),
+            Some(first) => assert_eq!(&r, first, "output changed at {n} threads"),
+        }
+    }
+    rayon::set_num_threads(0);
+    out.unwrap()
+}
+
+fn f64_bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+/// An eddying synthetic velocity pair large enough to multi-chunk every
+/// parallel path (6144 cells > the slice grain of 1024).
+fn test_flow() -> (Grid, Field2D, Field2D) {
+    let grid = Grid::channel(96, 64, 60_000.0);
+    let uc = Field2D::from_fn(96, 64, |i, j| {
+        (i as f64 * 0.13).sin() * (j as f64 * 0.07).cos() * 0.4
+    });
+    let vc = Field2D::from_fn(96, 64, |i, j| {
+        (i as f64 * 0.11).cos() * (j as f64 * 0.09).sin() * 0.4
+    });
+    (grid, uc, vc)
+}
+
+#[test]
+fn okubo_weiss_field_is_bit_identical_across_thread_counts() {
+    let (grid, uc, vc) = test_flow();
+    let bits = identical_at_all_thread_counts(|| f64_bits(okubo_weiss(&grid, &uc, &vc).data()));
+    assert_eq!(bits.len(), 96 * 64);
+    assert!(bits.iter().any(|&b| f64::from_bits(b) < 0.0), "no eddies?");
+}
+
+#[test]
+fn fig2_render_is_bit_identical_and_matches_sequential_golden() {
+    let (grid, uc, vc) = test_flow();
+    let w = okubo_weiss(&grid, &uc, &vc);
+    let renderer = FieldRenderer::okubo_weiss(192, 128);
+    let img = identical_at_all_thread_counts(|| renderer.render(&w));
+    // The resolved ±2σ range is itself a parallel reduction; reuse it so
+    // the golden comparison isolates the rasterization path.
+    let (lo, hi) = renderer.resolve_range(&w);
+    let golden = rasterize_reference(&w, 192, 128, Colormap::OkuboWeiss, lo, hi);
+    assert_eq!(img, golden, "threaded render diverged from the seed path");
+}
+
+#[test]
+fn symmetric_sigma_range_is_bit_identical_across_thread_counts() {
+    let (grid, uc, vc) = test_flow();
+    let w = okubo_weiss(&grid, &uc, &vc);
+    let renderer = FieldRenderer::okubo_weiss(16, 16);
+    let (lo, hi) = identical_at_all_thread_counts(|| {
+        let (lo, hi) = renderer.resolve_range(&w);
+        (lo.to_bits(), hi.to_bits())
+    });
+    assert!(f64::from_bits(hi) > f64::from_bits(lo));
+}
+
+#[test]
+fn composite_bands_matches_serial_render_at_every_rank_and_thread_count() {
+    let (grid, uc, vc) = test_flow();
+    let w = okubo_weiss(&grid, &uc, &vc);
+    let golden = rasterize_reference(&w, 160, 96, Colormap::OkuboWeiss, -1e-10, 1e-10);
+    for nranks in [1, 2, 3, 7, 48] {
+        let img = identical_at_all_thread_counts(|| {
+            render_distributed(&w, 160, 96, nranks, Colormap::OkuboWeiss, -1e-10, 1e-10)
+        });
+        assert_eq!(img, golden, "nranks={nranks}");
+        let fast = rasterize(&w, 160, 96, Colormap::OkuboWeiss, -1e-10, 1e-10);
+        assert_eq!(img, fast, "distributed vs table-driven, nranks={nranks}");
+    }
+}
+
+#[test]
+fn eq4_whatif_sweeps_are_bit_identical_and_match_sequential_maps() {
+    let a = WhatIfAnalyzer::paper();
+    let spec = ProblemSpec::paper_100yr();
+    let hours: Vec<f64> = (1..=96).map(|i| i as f64 * 4.0).collect();
+    for kind in [PipelineKind::InSitu, PipelineKind::PostProcessing] {
+        let storage = identical_at_all_thread_counts(|| a.storage_curve(kind, &spec, &hours));
+        let energy_bits = identical_at_all_thread_counts(|| {
+            a.energy_curve(kind, &spec, &hours)
+                .iter()
+                .map(|&(h, e)| (h.to_bits(), e.joules().to_bits()))
+                .collect::<Vec<_>>()
+        });
+        // The parallel curves are element-wise maps, so they must equal
+        // the plain sequential iterator chain exactly.
+        let seq_storage: Vec<(f64, u64)> = hours
+            .iter()
+            .map(|&h| {
+                (
+                    h,
+                    a.storage_bytes(kind, &spec, SamplingRate::every_hours(h)),
+                )
+            })
+            .collect();
+        assert_eq!(storage, seq_storage);
+        let seq_energy_bits: Vec<(u64, u64)> = hours
+            .iter()
+            .map(|&h| {
+                let e = a.energy(kind, &spec, SamplingRate::every_hours(h));
+                (h.to_bits(), e.joules().to_bits())
+            })
+            .collect();
+        assert_eq!(energy_bits, seq_energy_bits);
+    }
+}
+
+#[test]
+fn campaign_fanout_matches_sequential_matrix() {
+    let configs = PipelineConfig::paper_matrix();
+    let fingerprint = |m: &ivis_core::metrics::PipelineMetrics| {
+        (
+            m.execution_time.as_secs_f64().to_bits(),
+            m.energy_total().joules().to_bits(),
+            m.storage_gb().to_bits(),
+        )
+    };
+    let parallel = identical_at_all_thread_counts(|| {
+        run_matrix_parallel(Campaign::paper, &configs)
+            .iter()
+            .map(fingerprint)
+            .collect::<Vec<_>>()
+    });
+    let sequential: Vec<_> = Campaign::paper()
+        .run_paper_matrix()
+        .iter()
+        .map(fingerprint)
+        .collect();
+    assert_eq!(parallel, sequential);
+}

@@ -15,6 +15,7 @@ use insitu_vis::viz::raster::{rasterize, sample_bilinear};
 use insitu_vis::viz::Colormap;
 use insitu_vis::viz::ImageBuffer;
 use proptest::prelude::*;
+use rayon::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -211,5 +212,121 @@ proptest! {
         let e = Watts(p).over(SimDuration::from_secs(secs));
         let back = e.average_over(SimDuration::from_secs(secs));
         prop_assert!((back.watts() - p).abs() < 1e-9 * p.max(1.0));
+    }
+
+    // --- rayon shim: the threaded backend agrees with std iterators ---
+
+    #[test]
+    fn par_map_reduce_matches_std_fold(
+        xs in prop::collection::vec(-1e6f64..1e6, 0..5000),
+    ) {
+        // max is associative and commutative, so the shim's fixed-shape
+        // chunked tree must agree with a sequential fold exactly.
+        let par_max = xs.par_iter().map(|x| x.abs()).reduce(|| 0.0, f64::max);
+        let seq_max = xs.iter().map(|x| x.abs()).fold(0.0, f64::max);
+        prop_assert_eq!(par_max.to_bits(), seq_max.to_bits());
+        // Float addition is not associative; the chunked sum may differ
+        // from the sequential one only in accumulated rounding.
+        let par_sum: f64 = xs.par_iter().sum();
+        let seq_sum: f64 = xs.iter().sum();
+        prop_assert!((par_sum - seq_sum).abs() <= 1e-9 * seq_sum.abs().max(1.0));
+        // Counting through map+filter is exact.
+        let par_n = xs.par_iter().map(|x| x * 2.0).filter(|&x| x > 0.0).count();
+        let seq_n = xs.iter().map(|x| x * 2.0).filter(|&x| x > 0.0).count();
+        prop_assert_eq!(par_n, seq_n);
+    }
+
+    #[test]
+    fn par_chunks_mut_matches_chunks_mut(
+        xs in prop::collection::vec(-1e3f64..1e3, 1..3000),
+        chunk in 1usize..17,
+    ) {
+        let mut par = xs.clone();
+        par.par_chunks_mut(chunk).enumerate().for_each(|(c, row)| {
+            for (i, v) in row.iter_mut().enumerate() {
+                *v = *v * 0.5 + (c * 31 + i) as f64;
+            }
+        });
+        let mut seq = xs;
+        for (c, row) in seq.chunks_mut(chunk).enumerate() {
+            for (i, v) in row.iter_mut().enumerate() {
+                *v = *v * 0.5 + (c * 31 + i) as f64;
+            }
+        }
+        prop_assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_collect_preserves_input_order(
+        xs in prop::collection::vec(0u64..1_000_000, 0..4000),
+    ) {
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        let expect: Vec<u64> = xs.iter().map(|&x| x * 2).collect();
+        prop_assert_eq!(doubled, expect);
+    }
+
+    // --- concurrent recorders: merged traces still tile metered energy ---
+
+    #[test]
+    fn concurrent_recorder_merge_conserves_energy(
+        compute_w in prop::collection::vec(50.0f64..500.0, 6..7),
+        storage_w in 10.0f64..100.0,
+        sim_secs in 5u64..25,
+    ) {
+        use insitu_vis::cluster::JobPhase;
+        use insitu_vis::power::meter::MeterSample;
+        use insitu_vis::power::profile::PowerProfile;
+        use ivis_obs::{attribute, Component, Recorder, TraceBuffer};
+
+        // Each worker thread traces its own disjoint 30-s window of sim
+        // time into a private buffer; together the windows tile [0, 180].
+        let window = 30u64;
+        let handles: Vec<TraceBuffer> = std::thread::scope(|scope| {
+            (0..6u64)
+                .map(|k| {
+                    scope.spawn(move || {
+                        let rec = Recorder::in_memory();
+                        let t0 = k * window;
+                        let sim = rec.phase_span(
+                            SimTime::from_secs(t0),
+                            JobPhase::Simulate,
+                            Component::Compute,
+                        );
+                        rec.counter_add(SimTime::from_secs(t0), "outputs", 1.0);
+                        rec.close(SimTime::from_secs(t0 + sim_secs), sim);
+                        let io = rec.phase_span(
+                            SimTime::from_secs(t0 + sim_secs),
+                            JobPhase::WriteOutput,
+                            Component::Storage,
+                        );
+                        rec.close(SimTime::from_secs(t0 + window), io);
+                        rec.into_buffer().expect("sole owner")
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("writer thread"))
+                .collect()
+        });
+        let merged = TraceBuffer::merge(handles);
+        prop_assert_eq!(merged.metrics.get("outputs").expect("merged counter").last_value(), 6.0);
+
+        // Meter both subsystems over exactly the traced window and check
+        // the attribution tiles the metered energy (PR 1's conservation
+        // invariant, now across per-thread buffers).
+        let meter = |watts: &dyn Fn(usize) -> f64| {
+            PowerProfile::from_meter_samples(
+                SimTime::ZERO,
+                (1..=18).map(|i| MeterSample {
+                    at: SimTime::from_secs(i * 10),
+                    avg: Watts(watts(((i - 1) / 3) as usize)),
+                }).collect(),
+            )
+        };
+        let compute = meter(&|k| compute_w[k]);
+        let storage = meter(&|_| storage_w);
+        let att = attribute(&merged.phase_timeline(), &compute, &storage);
+        let residual = att.residual().joules().abs();
+        prop_assert!(residual < 1e-6, "residual {} J", residual);
     }
 }
