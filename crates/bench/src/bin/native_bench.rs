@@ -1,0 +1,204 @@
+//! Frame-chain throughput benchmark for the native backend: solver
+//! stepping (reference vs zero-allocation), PNG encoding (copy-chain vs
+//! single-pass streaming), and end-to-end frames/sec (sequential vs
+//! pipelined).
+//!
+//! Writes `BENCH_native.json` (or the path given as the first non-flag
+//! argument), mirroring `BENCH_parallel.json`'s role as a tracked perf
+//! trajectory. Every optimized path is verified **bit-identical** to its
+//! retained reference implementation before it is timed, and the host's
+//! `available_parallelism` is recorded so single-core CI numbers aren't
+//! mistaken for scaling results (on one core the pipelined path cannot
+//! overlap and may only match the sequential path).
+//!
+//! With `--check`, exits nonzero if the pipelined end-to-end path is
+//! slower than the sequential one beyond timer noise (2% tolerance) — the
+//! CI smoke gate. On a host with `available_parallelism == 1` the stages
+//! cannot actually overlap, so there the gate only bounds the pipeline's
+//! hand-off overhead (10%) rather than demanding a win it cannot have.
+
+use std::time::Instant;
+
+use ivis_core::native::{run_native_insitu, run_native_insitu_sequential, NativeConfig};
+use ivis_ocean::grid::Grid;
+use ivis_ocean::shallow_water::{ShallowWaterModel, SwParams};
+use ivis_ocean::vortex::seed_random_eddies;
+use ivis_viz::png::{encode_png_reference, PngEncoder};
+use ivis_viz::render::FieldRenderer;
+
+/// Median wall-clock seconds of `f` over `reps` runs (after warmup).
+fn time_s(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warmup + lazy init
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn spun_up_model(grid: Grid, warmup_steps: u64) -> ShallowWaterModel {
+    let params = SwParams::eddy_channel(&grid);
+    let mut m = ShallowWaterModel::new(grid, params);
+    seed_random_eddies(&mut m, 6, 42);
+    m.run(warmup_steps);
+    m
+}
+
+fn main() {
+    let mut out_path = "BENCH_native.json".to_string();
+    let mut check = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--check" {
+            check = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let zsim = std::env::var("ZSIM_THREADS").ok();
+
+    // --- solver: per-step from_fn allocations vs zero-alloc ping-pong ---
+    // The paper-analogue grid (256×128 of 60 km cells), spun up so the
+    // stencils see real eddies. Bit-identity is asserted over a prefix
+    // before anything is timed.
+    let (nx, ny) = (256usize, 128usize);
+    let mut a = spun_up_model(Grid::channel(nx, ny, 60_000.0), 32);
+    let mut b = spun_up_model(Grid::channel(nx, ny, 60_000.0), 32);
+    for step in 0..16 {
+        a.step_reference();
+        b.step();
+        assert_eq!(
+            a.state().h.data(),
+            b.state().h.data(),
+            "solver diverged from reference at verification step {step}"
+        );
+        assert_eq!(a.state().u.data(), b.state().u.data());
+        assert_eq!(a.state().v.data(), b.state().v.data());
+    }
+    let steps_timed = 200u64;
+    let ref_s = time_s(5, || {
+        for _ in 0..steps_timed {
+            a.step_reference();
+        }
+    });
+    let opt_s = time_s(5, || {
+        for _ in 0..steps_timed {
+            b.step();
+        }
+    });
+    let ref_sps = steps_timed as f64 / ref_s;
+    let opt_sps = steps_timed as f64 / opt_s;
+    eprintln!(
+        "solver {nx}x{ny}: reference {ref_sps:.0} steps/s, optimized {opt_sps:.0} steps/s ({:.2}x)",
+        opt_sps / ref_sps
+    );
+
+    // --- PNG encode: three-copy chain vs single-pass streaming ---
+    let (iw, ih) = (720usize, 512usize);
+    let renderer = FieldRenderer::okubo_weiss(iw, ih);
+    let field = {
+        let m = spun_up_model(Grid::channel(96, 64, 60_000.0), 32);
+        ivis_core::adaptor::CatalystAdaptor::new()
+            .adapt(&m)
+            .okubo_weiss
+    };
+    let img = renderer.render(&field);
+    let golden = encode_png_reference(&img);
+    let mut enc = PngEncoder::new();
+    let mut buf = Vec::new();
+    enc.encode_into(&img, &mut buf);
+    assert_eq!(buf, golden, "streaming encoder must match reference bytes");
+    let png_mb = golden.len() as f64 / 1e6;
+    let ref_enc_s = time_s(30, || {
+        std::hint::black_box(encode_png_reference(&img));
+    });
+    let opt_enc_s = time_s(30, || {
+        enc.encode_into(&img, &mut buf);
+        std::hint::black_box(&buf);
+    });
+    let ref_mbps = png_mb / ref_enc_s;
+    let opt_mbps = png_mb / opt_enc_s;
+    eprintln!(
+        "png {iw}x{ih}: reference {ref_mbps:.0} MB/s, streaming {opt_mbps:.0} MB/s ({:.2}x)",
+        opt_mbps / ref_mbps
+    );
+
+    // --- end to end: sequential loop vs pipelined producer/consumer ---
+    // Annotated 720×512 frames make the visualize stage substantial, so
+    // the overlap has something to hide the solver behind.
+    let cfg = NativeConfig {
+        nx: 96,
+        ny: 64,
+        cell_m: 60_000.0,
+        steps: 96,
+        output_every: 8,
+        num_eddies: 6,
+        seed: 42,
+        image_width: iw,
+        image_height: ih,
+        annotate: true,
+    };
+    let seq = run_native_insitu_sequential(&cfg);
+    let pipe = run_native_insitu(&cfg);
+    assert_eq!(seq.frames, pipe.frames);
+    assert_eq!(
+        seq.cinema.index_json(),
+        pipe.cinema.index_json(),
+        "pipelined Cinema index must match sequential"
+    );
+    for (es, ep) in seq.cinema.entries().iter().zip(pipe.cinema.entries()) {
+        assert_eq!(es.data, ep.data, "pipelined frame {} differs", es.timestep);
+    }
+    assert_eq!(seq.final_census, pipe.final_census);
+    let frames = seq.frames as f64;
+    let seq_s = time_s(3, || {
+        std::hint::black_box(run_native_insitu_sequential(&cfg));
+    });
+    let pipe_s = time_s(3, || {
+        std::hint::black_box(run_native_insitu(&cfg));
+    });
+    let seq_fps = frames / seq_s;
+    let pipe_fps = frames / pipe_s;
+    let e2e_speedup = pipe_fps / seq_fps;
+    eprintln!(
+        "end-to-end ({} frames): sequential {seq_fps:.2} fps, pipelined {pipe_fps:.2} fps ({e2e_speedup:.2}x)",
+        seq.frames
+    );
+
+    let json = format!(
+        "{{\n  \"host\": {{ \"available_parallelism\": {host_threads}, \"zsim_threads\": {} }},\n  \
+         \"solver\": {{ \"nx\": {nx}, \"ny\": {ny}, \"steps_timed\": {steps_timed}, \
+         \"reference_steps_per_sec\": {ref_sps:.1}, \"optimized_steps_per_sec\": {opt_sps:.1}, \
+         \"speedup\": {:.3}, \"bit_identical\": true }},\n  \
+         \"png_encode\": {{ \"width\": {iw}, \"height\": {ih}, \"png_bytes\": {}, \
+         \"reference_mb_per_sec\": {ref_mbps:.1}, \"streaming_mb_per_sec\": {opt_mbps:.1}, \
+         \"speedup\": {:.3}, \"bit_identical\": true }},\n  \
+         \"end_to_end\": {{ \"frames\": {}, \"image_width\": {iw}, \"image_height\": {ih}, \
+         \"sequential_fps\": {seq_fps:.3}, \"pipelined_fps\": {pipe_fps:.3}, \
+         \"speedup\": {e2e_speedup:.3}, \"outputs_identical\": true }}\n}}\n",
+        zsim.map_or("null".to_string(), |v| format!("\"{v}\"")),
+        opt_sps / ref_sps,
+        golden.len(),
+        opt_mbps / ref_mbps,
+        seq.frames,
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    eprintln!("wrote {out_path}");
+
+    if check {
+        let floor = if host_threads > 1 { 0.98 } else { 0.90 };
+        if e2e_speedup < floor {
+            eprintln!(
+                "FAIL: pipelined path is slower than sequential \
+                 ({e2e_speedup:.3}x < {floor}x floor on a {host_threads}-core host)"
+            );
+            std::process::exit(1);
+        }
+    }
+}

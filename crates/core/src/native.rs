@@ -7,7 +7,23 @@
 //! are tracked — with real wall-clock timing per phase. The examples and the
 //! cognitive-fidelity tests (do both pipelines see the *same* eddies?) run
 //! on this backend.
+//!
+//! ## Pipelined execution
+//!
+//! [`run_native_insitu`] overlaps the solver with visualization the way
+//! in-transit systems stage analysis: a producer thread advances the model
+//! and adapts snapshots while the consumer renders, encodes and tracks the
+//! previous frame, hand-off over a bounded (depth-1) channel — double
+//! buffering, at most one frame in flight. Because every frame is a
+//! deep-copied [`VizSnapshot`] and the consumer processes frames strictly
+//! in order, all outputs (PNG bytes, Cinema index, eddy tracks, trace
+//! structure) are **bit-identical** to [`run_native_insitu_sequential`],
+//! which keeps the original strictly-serialized loop as the golden
+//! baseline. Phase wall times are measured on each thread and replayed
+//! through the same [`WallTracer`] in sequential order after the join, so
+//! recorded traces have the same span/event/counter sequence either way.
 
+use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use ivis_cluster::JobPhase;
@@ -106,6 +122,10 @@ pub struct NativeReport {
     pub wall_viz: Duration,
     /// Wall time encoding/decoding/storing output.
     pub wall_io: Duration,
+    /// End-to-end wall time of the whole run. For the sequential paths
+    /// this is ≈ [`NativeReport::wall_total`]; for the pipelined in-situ
+    /// path it is smaller, because solver and visualization overlap.
+    pub wall_end_to_end: Duration,
     /// Raw (ncdf) bytes produced — zero for in-situ.
     pub raw_bytes: u64,
     /// Image database bytes.
@@ -229,15 +249,111 @@ fn note_frame(rec: &Recorder, t: SimTime, frame: u64, census: &FrameCensus) {
     rec.counter_add(t, "native.frames", 1.0);
 }
 
-/// Run the in-situ pipeline natively: simulate, adapt, render and track in
-/// place; only images are "written".
+/// Run the in-situ pipeline natively: simulate, adapt, render and track;
+/// only images are "written". Solver and visualization run **pipelined**
+/// (see the module docs); outputs are bit-identical to
+/// [`run_native_insitu_sequential`].
 pub fn run_native_insitu(cfg: &NativeConfig) -> NativeReport {
     run_native_insitu_with(cfg, &Recorder::off())
 }
 
-/// [`run_native_insitu`] with a trace recorder: wall-clock phase timings
-/// are replayed as spans on a virtual sim-time axis.
+/// [`run_native_insitu`] with a trace recorder: per-phase wall times are
+/// measured on their own threads, then replayed as spans on a virtual
+/// sim-time axis in the same order the sequential path records them.
 pub fn run_native_insitu_with(cfg: &NativeConfig, rec: &Recorder) -> NativeReport {
+    let t_run = Instant::now();
+    let mut model = cfg.build_model();
+    let grid = model.grid().clone();
+    let renderer = FieldRenderer::okubo_weiss(cfg.image_width, cfg.image_height);
+    let mut cinema = CinemaDatabase::new("insitu-eddies");
+    let mut tracker = tracker_for(&grid);
+    let root = open_native_root(rec, cfg, "insitu");
+    let mut frames = 0u64;
+    let mut census = frame_census(&[]);
+    // Per-frame (simulate, adapt+visualize) durations and the frame's
+    // census, kept so the trace can be replayed sequentially after the
+    // join.
+    let mut timings: Vec<(Duration, Duration, FrameCensus)> = Vec::new();
+    // Depth-1 hand-off: the producer may run at most one chunk ahead of
+    // the frame being visualized (double buffering).
+    let (tx, rx) = mpsc::sync_channel::<(Duration, Duration, VizSnapshot)>(1);
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            let mut adaptor = CatalystAdaptor::new();
+            let mut step = 0u64;
+            while step < cfg.steps {
+                let chunk = cfg.output_every.min(cfg.steps - step);
+                let t0 = Instant::now();
+                model.run(chunk);
+                let d_sim = t0.elapsed();
+                step += chunk;
+                let t1 = Instant::now();
+                let snap = adaptor.adapt(&model);
+                let d_adapt = t1.elapsed();
+                if tx.send((d_sim, d_adapt, snap)).is_err() {
+                    return; // consumer gone (it panicked); just stop
+                }
+            }
+        });
+        // Consumer: frames arrive and are visualized strictly in order,
+        // so tracker state and Cinema entries match the sequential path.
+        for (d_sim, d_adapt, snap) in rx {
+            let t1 = Instant::now();
+            census = visualize_frame(
+                &renderer,
+                &mut cinema,
+                &mut tracker,
+                &grid,
+                &snap,
+                frames,
+                cfg.annotate,
+            );
+            let d_viz = t1.elapsed();
+            timings.push((d_sim, d_adapt + d_viz, census.clone()));
+            frames += 1;
+        }
+    });
+    let wall_end_to_end = t_run.elapsed();
+    // Replay the measured phases through the tracer in the interleaved
+    // order the sequential path would have recorded them.
+    let mut wtr = WallTracer::new(rec);
+    let mut wall_sim = Duration::ZERO;
+    let mut wall_viz = Duration::ZERO;
+    for (frame, (d_sim, d_viz, c)) in timings.iter().enumerate() {
+        wall_sim += *d_sim;
+        wtr.phase(JobPhase::Simulate, *d_sim);
+        wall_viz += *d_viz;
+        wtr.phase(JobPhase::Visualize, *d_viz);
+        note_frame(rec, wtr.now(), frame as u64, c);
+    }
+    let image_bytes = cinema.total_bytes();
+    if rec.is_on() {
+        rec.counter_add(wtr.now(), "native.image_bytes", image_bytes as f64);
+    }
+    rec.close(wtr.now(), root);
+    NativeReport {
+        frames,
+        wall_sim,
+        wall_viz,
+        wall_io: Duration::ZERO, // image bytes counted; kept in memory here
+        wall_end_to_end,
+        raw_bytes: 0,
+        image_bytes,
+        cinema,
+        tracks: tracker.finish(),
+        final_census: census,
+    }
+}
+
+/// The original strictly-serialized in-situ loop, kept as the golden
+/// baseline the pipelined path is tested (and benchmarked) against.
+pub fn run_native_insitu_sequential(cfg: &NativeConfig) -> NativeReport {
+    run_native_insitu_sequential_with(cfg, &Recorder::off())
+}
+
+/// [`run_native_insitu_sequential`] with a trace recorder.
+pub fn run_native_insitu_sequential_with(cfg: &NativeConfig, rec: &Recorder) -> NativeReport {
+    let t_run = Instant::now();
     let mut model = cfg.build_model();
     let mut adaptor = CatalystAdaptor::new();
     let renderer = FieldRenderer::okubo_weiss(cfg.image_width, cfg.image_height);
@@ -285,6 +401,7 @@ pub fn run_native_insitu_with(cfg: &NativeConfig, rec: &Recorder) -> NativeRepor
         wall_sim,
         wall_viz,
         wall_io: Duration::ZERO, // image bytes counted; kept in memory here
+        wall_end_to_end: t_run.elapsed(),
         raw_bytes: 0,
         image_bytes,
         cinema,
@@ -350,6 +467,7 @@ pub fn run_native_postproc(cfg: &NativeConfig) -> NativeReport {
 /// traced as write phases and the stage-2 decodes as read phases, so the
 /// exported timeline shows the paper's two-stage structure.
 pub fn run_native_postproc_with(cfg: &NativeConfig, rec: &Recorder) -> NativeReport {
+    let t_run = Instant::now();
     let mut model = cfg.build_model();
     let mut adaptor = CatalystAdaptor::new();
     let root = open_native_root(rec, cfg, "postproc");
@@ -416,6 +534,7 @@ pub fn run_native_postproc_with(cfg: &NativeConfig, rec: &Recorder) -> NativeRep
         wall_sim,
         wall_viz,
         wall_io,
+        wall_end_to_end: t_run.elapsed(),
         raw_bytes,
         image_bytes,
         cinema,
@@ -503,6 +622,20 @@ mod tests {
         assert_eq!(back.vc.data(), snap.vc.data());
         assert_eq!(back.timestep, 123);
         assert_eq!(back.sim_hours, 61.5);
+    }
+
+    #[test]
+    fn pipelined_matches_sequential_exactly() {
+        let cfg = NativeConfig::tiny();
+        let a = run_native_insitu(&cfg);
+        let b = run_native_insitu_sequential(&cfg);
+        assert_eq!(a.frames, b.frames);
+        assert_eq!(a.cinema.index_json(), b.cinema.index_json());
+        for (ea, eb) in a.cinema.entries().iter().zip(b.cinema.entries()) {
+            assert_eq!(ea.data, eb.data, "frame {} differs", ea.timestep);
+        }
+        assert_eq!(a.tracks, b.tracks);
+        assert_eq!(a.final_census, b.final_census);
     }
 
     #[test]

@@ -86,6 +86,19 @@ impl Grid {
         let c = (g * depth).sqrt();
         0.5 * self.dx.min(self.dy) / (c * std::f64::consts::SQRT_2)
     }
+
+    /// Per-row Coriolis parameter at cell centers, `f[j] = coriolis(j)` for
+    /// `j in 0..ny`. The solver hoists this out of its per-cell hot loop;
+    /// values are exactly [`Grid::coriolis`]'s, entry for entry.
+    pub fn coriolis_center_table(&self) -> Vec<f64> {
+        (0..self.ny).map(|j| self.coriolis(j)).collect()
+    }
+
+    /// Per-row Coriolis parameter at v-faces, `f[j] = coriolis_at_vface(j)`
+    /// for `j in 0..=ny` (one entry per face row, walls included).
+    pub fn coriolis_vface_table(&self) -> Vec<f64> {
+        (0..=self.ny).map(|j| self.coriolis_at_vface(j)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -127,5 +140,20 @@ mod tests {
     #[should_panic(expected = "grid too small")]
     fn tiny_grids_rejected() {
         let _ = Grid::channel(2, 2, 100.0);
+    }
+
+    #[test]
+    fn coriolis_tables_match_pointwise_formulas() {
+        let g = Grid::channel(8, 6, 50_000.0);
+        let centers = g.coriolis_center_table();
+        let vfaces = g.coriolis_vface_table();
+        assert_eq!(centers.len(), 6);
+        assert_eq!(vfaces.len(), 7);
+        for (j, c) in centers.iter().enumerate() {
+            assert_eq!(c.to_bits(), g.coriolis(j).to_bits());
+        }
+        for (j, f) in vfaces.iter().enumerate() {
+            assert_eq!(f.to_bits(), g.coriolis_at_vface(j).to_bits());
+        }
     }
 }

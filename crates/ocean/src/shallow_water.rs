@@ -14,6 +14,21 @@
 //! at south faces with `v = 0` on the north/south walls. Mass is conserved
 //! to round-off by construction (the divergence telescopes over the periodic
 //! x direction and vanishes at the walls).
+//!
+//! ## Stepping performance
+//!
+//! [`ShallowWaterModel::step`] performs **zero heap allocations in steady
+//! state**: the three prognostic fields ping-pong between the live state
+//! and a same-shaped scratch state that is written in place and swapped in,
+//! each kernel runs over row slices with an interior fast path (no
+//! wraparound modulo, no per-element bounds checks the optimizer can't
+//! elide) plus explicit periodic boundary columns, and the per-row Coriolis
+//! and wind-forcing terms are hoisted into tables built once at
+//! construction. Every cell evaluates *exactly* the float expression of the
+//! original allocating implementation — kept verbatim as
+//! [`ShallowWaterModel::step_reference`] — in the same order, so the two
+//! paths are bit-identical (see the `fast_step_matches_reference_bitwise`
+//! test) and all downstream goldens are preserved.
 
 use rayon::prelude::*;
 
@@ -84,6 +99,16 @@ pub struct ShallowWaterModel {
     grid: Grid,
     params: SwParams,
     state: SwState,
+    /// Scratch state the kernels write into; swapped with `state` at the
+    /// end of each step so stepping never allocates.
+    next: SwState,
+    /// Hoisted per-row Coriolis at cell centers (`grid.coriolis(j)`).
+    f_center: Vec<f64>,
+    /// Hoisted per-row Coriolis at v-faces (`grid.coriolis_at_vface(j)`).
+    f_vface: Vec<f64>,
+    /// Hoisted per-row wind acceleration `F_w(y_j)` (all zeros when
+    /// `wind_accel == 0`, matching the reference path's branch exactly).
+    wind: Vec<f64>,
     time: f64,
     steps: u64,
 }
@@ -103,10 +128,28 @@ impl ShallowWaterModel {
             dt_max
         );
         let state = SwState::rest(&grid);
+        let next = SwState::rest(&grid);
+        let f_center = grid.coriolis_center_table();
+        let f_vface = grid.coriolis_vface_table();
+        let ly = grid.ny as f64 * grid.dy;
+        let wind = (0..grid.ny)
+            .map(|j| {
+                if params.wind_accel != 0.0 {
+                    let y = grid.y_center(j);
+                    params.wind_accel * (std::f64::consts::PI * y / ly).sin()
+                } else {
+                    0.0
+                }
+            })
+            .collect();
         ShallowWaterModel {
             grid,
             params,
             state,
+            next,
+            f_center,
+            f_vface,
+            wind,
             time: 0.0,
             steps: 0,
         }
@@ -142,8 +185,116 @@ impl ShallowWaterModel {
         self.steps
     }
 
-    /// Advance one timestep.
+    /// Advance one timestep. Allocation-free: writes the ping-pong scratch
+    /// state in place and swaps it in. Bit-identical to
+    /// [`ShallowWaterModel::step_reference`].
     pub fn step(&mut self) {
+        let (nx, ny) = (self.grid.nx, self.grid.ny);
+        let (dx, dy, dt) = (self.grid.dx, self.grid.dy, self.params.dt);
+        let (g, depth, drag) = (self.params.g, self.params.depth, self.params.drag);
+
+        // --- continuity: h^{n+1} = h^n − dt·H·div(u^n, v^n) ---------------
+        {
+            let u = self.state.u.data();
+            let v = self.state.v.data();
+            let h = self.state.h.data();
+            let out = self.next.h.data_mut();
+            for j in 0..ny {
+                let row = j * nx;
+                let h_row = &h[row..row + nx];
+                let u_row = &u[row..row + nx];
+                let v_s = &v[row..row + nx];
+                let v_n = &v[row + nx..row + 2 * nx];
+                let out_row = &mut out[row..row + nx];
+                // Interior: the east u-face of cell i is u[i+1].
+                for i in 0..nx - 1 {
+                    let div = (u_row[i + 1] - u_row[i]) / dx + (v_n[i] - v_s[i]) / dy;
+                    out_row[i] = h_row[i] - dt * depth * div;
+                }
+                // Periodic east column: the east face wraps to u[0].
+                let i = nx - 1;
+                let div = (u_row[0] - u_row[i]) / dx + (v_n[i] - v_s[i]) / dy;
+                out_row[i] = h_row[i] - dt * depth * div;
+            }
+        }
+
+        // --- u momentum with the new h -------------------------------------
+        {
+            let h = self.next.h.data();
+            let u = self.state.u.data();
+            let v = self.state.v.data();
+            let out = self.next.u.data_mut();
+            for j in 0..ny {
+                let f = self.f_center[j];
+                let wind = self.wind[j];
+                let row = j * nx;
+                let h_row = &h[row..row + nx];
+                let u_row = &u[row..row + nx];
+                let v_s = &v[row..row + nx];
+                let v_n = &v[row + nx..row + 2 * nx];
+                let out_row = &mut out[row..row + nx];
+                // Periodic west column: the west neighbor wraps to nx−1.
+                {
+                    let vbar = 0.25 * (v_s[nx - 1] + v_s[0] + v_n[nx - 1] + v_n[0]);
+                    let dhdx = (h_row[0] - h_row[nx - 1]) / dx;
+                    let u0 = u_row[0];
+                    out_row[0] = u0 + dt * (f * vbar - g * dhdx - drag * u0 + wind);
+                }
+                // Interior: the west neighbor of face i is i−1.
+                for i in 1..nx {
+                    let vbar = 0.25 * (v_s[i - 1] + v_s[i] + v_n[i - 1] + v_n[i]);
+                    let dhdx = (h_row[i] - h_row[i - 1]) / dx;
+                    let u0 = u_row[i];
+                    out_row[i] = u0 + dt * (f * vbar - g * dhdx - drag * u0 + wind);
+                }
+            }
+        }
+
+        // --- v momentum with the new h and (forward–backward) new u --------
+        {
+            let h = self.next.h.data();
+            let u = self.next.u.data();
+            let v = self.state.v.data();
+            let out = self.next.v.data_mut();
+            // Solid walls: rows 0 and ny stay zero.
+            out[..nx].fill(0.0);
+            out[ny * nx..(ny + 1) * nx].fill(0.0);
+            for j in 1..ny {
+                let f = self.f_vface[j];
+                let row = j * nx;
+                let u_row = &u[row..row + nx];
+                let u_south = &u[row - nx..row];
+                let h_row = &h[row..row + nx];
+                let h_south = &h[row - nx..row];
+                let v_row = &v[row..row + nx];
+                let out_row = &mut out[row..row + nx];
+                // Interior: the east u-face of cell i is u[i+1].
+                for i in 0..nx - 1 {
+                    let ubar = 0.25 * (u_row[i] + u_row[i + 1] + u_south[i] + u_south[i + 1]);
+                    let dhdy = (h_row[i] - h_south[i]) / dy;
+                    let v0 = v_row[i];
+                    out_row[i] = v0 + dt * (-f * ubar - g * dhdy - drag * v0);
+                }
+                // Periodic east column: the east face wraps to u[0].
+                let i = nx - 1;
+                let ubar = 0.25 * (u_row[i] + u_row[0] + u_south[i] + u_south[0]);
+                let dhdy = (h_row[i] - h_south[i]) / dy;
+                let v0 = v_row[i];
+                out_row[i] = v0 + dt * (-f * ubar - g * dhdy - drag * v0);
+            }
+        }
+
+        std::mem::swap(&mut self.state, &mut self.next);
+        self.time += dt;
+        self.steps += 1;
+    }
+
+    /// The seed's original allocating step, kept verbatim as the golden
+    /// reference for [`ShallowWaterModel::step`] (the same role
+    /// `rasterize_reference` plays for the renderer) and as the baseline
+    /// the solver benchmark in `native_bench` measures speedup against.
+    /// Three full-field allocations per call; bit-identical results.
+    pub fn step_reference(&mut self) {
         let (nx, ny) = (self.grid.nx, self.grid.ny);
         let (dx, dy, dt) = (self.grid.dx, self.grid.dy, self.params.dt);
         let (g, depth, drag) = (self.params.g, self.params.depth, self.params.drag);
@@ -430,5 +581,57 @@ mod tests {
             m.state().h.data().to_vec()
         };
         assert_eq!(run(), run());
+    }
+
+    fn state_bits(m: &ShallowWaterModel) -> Vec<u64> {
+        m.state()
+            .h
+            .data()
+            .iter()
+            .chain(m.state().u.data())
+            .chain(m.state().v.data())
+            .map(|x| x.to_bits())
+            .collect()
+    }
+
+    #[test]
+    fn fast_step_matches_reference_bitwise() {
+        // The allocation-free ping-pong kernels must reproduce the seed's
+        // from_fn implementation bit for bit, step after step — including
+        // with wind forcing and strong drag switched on so every term in
+        // the momentum equations is exercised.
+        for wind in [0.0, 1e-6] {
+            let make = |wind: f64| {
+                let grid = Grid::channel(32, 24, 60_000.0);
+                let mut params = SwParams::eddy_channel(&grid);
+                params.wind_accel = wind;
+                params.drag = 1e-6;
+                let mut m = ShallowWaterModel::new(grid, params);
+                let (lx, ly) = m.grid().extent();
+                seed_vortex(
+                    &mut m,
+                    &Vortex {
+                        x: lx * 0.4,
+                        y: ly * 0.6,
+                        radius: 150_000.0,
+                        amplitude: 0.8,
+                    },
+                );
+                m
+            };
+            let mut fast = make(wind);
+            let mut reference = make(wind);
+            for step in 0..60 {
+                fast.step();
+                reference.step_reference();
+                assert_eq!(
+                    state_bits(&fast),
+                    state_bits(&reference),
+                    "diverged at step {step} (wind={wind})"
+                );
+            }
+            assert_eq!(fast.time(), reference.time());
+            assert_eq!(fast.steps(), reference.steps());
+        }
     }
 }

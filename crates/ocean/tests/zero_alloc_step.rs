@@ -1,0 +1,70 @@
+//! Steady-state stepping must not touch the heap.
+//!
+//! `ShallowWaterModel::step` ping-pongs between two preallocated states, so
+//! after construction the solver loop performs zero allocations — asserted
+//! here with a counting global allocator. This file holds exactly one test
+//! (its own process) so no sibling test can allocate concurrently and
+//! pollute the count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ivis_ocean::grid::Grid;
+use ivis_ocean::shallow_water::{ShallowWaterModel, SwParams};
+use ivis_ocean::vortex::{seed_vortex, Vortex};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_stepping_is_allocation_free() {
+    let grid = Grid::channel(96, 64, 60_000.0);
+    let params = SwParams::eddy_channel(&grid);
+    let mut m = ShallowWaterModel::new(grid, params);
+    let (lx, ly) = m.grid().extent();
+    seed_vortex(
+        &mut m,
+        &Vortex {
+            x: lx * 0.5,
+            y: ly * 0.5,
+            radius: 200_000.0,
+            amplitude: 1.0,
+        },
+    );
+    // Warm up: first steps after construction are already allocation-free,
+    // but run a few anyway so the measurement is unambiguously steady-state.
+    m.run(4);
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    m.run(100);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "ShallowWaterModel::step allocated {} times over 100 steps",
+        after - before
+    );
+    // The model actually did something.
+    assert!(m.max_speed() > 0.0);
+    assert_eq!(m.steps(), 104);
+}

@@ -158,6 +158,7 @@ impl<W> Simulation<W> {
         match self.queue.pop() {
             None => false,
             Some(ev) => {
+                debug_assert!(ev.at >= self.now, "event calendar went backwards");
                 self.now = ev.at;
                 self.executed += 1;
                 (ev.action)(self, world);
@@ -237,6 +238,24 @@ mod tests {
         assert!(sim.step(&mut w));
         assert!(!sim.step(&mut w));
         assert_eq!(w, 2);
+    }
+
+    #[test]
+    fn step_after_deadline_advance_upholds_time_order() {
+        // Regression: `step` used to skip the no-time-travel invariant
+        // `run_until` enforces. After a deadline advances the clock past a
+        // still-pending event's schedule point minus slack, stepping must
+        // keep the clock monotone (and must not trip the debug assert for
+        // legitimately future events).
+        let mut sim: Simulation<Vec<u32>> = Simulation::new();
+        let mut out = Vec::new();
+        sim.schedule_at(SimTime::from_secs(10), |_, w| w.push(10));
+        let t = sim.run_until(&mut out, SimTime::from_secs(5));
+        assert_eq!(t, SimTime::from_secs(5)); // clock moved, event pending
+        assert!(sim.step(&mut out));
+        assert_eq!(out, vec![10]);
+        assert_eq!(sim.now(), SimTime::from_secs(10));
+        assert!(sim.now() >= t, "step moved the clock backwards");
     }
 
     #[test]

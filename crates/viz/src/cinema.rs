@@ -10,7 +10,7 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-use crate::png::encode_png;
+use crate::png::{encoded_png_size, PngEncoder};
 use crate::raster::ImageBuffer;
 
 /// One image entry.
@@ -31,6 +31,10 @@ pub struct CinemaEntry {
 pub struct CinemaDatabase {
     name: String,
     entries: Vec<CinemaEntry>,
+    /// Reusable streaming encoder: its scanline scratch persists across
+    /// frames, so per-frame encoding allocates only the entry's own PNG
+    /// buffer (sized exactly via [`encoded_png_size`]).
+    encoder: PngEncoder,
 }
 
 impl CinemaDatabase {
@@ -39,6 +43,7 @@ impl CinemaDatabase {
         CinemaDatabase {
             name: name.into(),
             entries: Vec::new(),
+            encoder: PngEncoder::new(),
         }
     }
 
@@ -50,11 +55,13 @@ impl CinemaDatabase {
     /// Add an image captured at `timestep` / `sim_hours`.
     pub fn add_image(&mut self, timestep: u64, sim_hours: f64, img: &ImageBuffer) {
         let filename = format!("ts_{timestep:08}.png");
+        let mut data = Vec::with_capacity(encoded_png_size(img.width(), img.height()) as usize);
+        self.encoder.encode_into(img, &mut data);
         self.entries.push(CinemaEntry {
             timestep,
             sim_hours,
             filename,
-            data: encode_png(img),
+            data,
         });
     }
 

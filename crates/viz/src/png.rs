@@ -5,49 +5,247 @@
 //! Adler-32, and CRC-32 on every chunk. Stored blocks keep the encoder tiny
 //! and dependency-free while remaining readable by every PNG decoder; the
 //! resulting file size is `~3·w·h + h + 70` bytes.
+//!
+//! ## Single-pass streaming
+//!
+//! [`PngEncoder`] emits the file in one pass directly into the output
+//! `Vec`: scanlines (filter byte + pixels) are framed into stored deflate
+//! blocks as they are produced, with the chunk CRC-32 and the zlib
+//! Adler-32 updated incrementally on every appended byte. The seed's
+//! three-copy chain (`to_rgb_bytes` → scanline `raw` → `zlib_stored` →
+//! chunk payload copy) is retained verbatim as [`encode_png_reference`] —
+//! the golden both the tests and `native_bench` compare against — but the
+//! hot path touches each pixel exactly once and allocates nothing beyond
+//! the output buffer and a reusable one-scanline scratch. The stored-block
+//! layout (and therefore the exact file size) comes from one shared
+//! function, [`png_layout`], so [`encoded_png_size`] is exact *by
+//! construction*. The CRC-32 table is built at compile time.
 
 use crate::raster::ImageBuffer;
 
 /// The 8-byte PNG signature.
 pub const PNG_SIGNATURE: [u8; 8] = [0x89, b'P', b'N', b'G', 0x0D, 0x0A, 0x1A, 0x0A];
 
-/// CRC-32 (IEEE 802.3) over `data`, as PNG requires.
-pub fn crc32(data: &[u8]) -> u32 {
-    // Small table generated on the fly; performance is irrelevant next to
-    // the pixel volume.
+/// Largest stored-deflate block payload (LEN is a u16).
+const STORED_BLOCK_MAX: usize = 65_535;
+
+/// CRC-32 (IEEE 802.3) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
     let mut table = [0u32; 256];
-    for (n, entry) in table.iter_mut().enumerate() {
+    let mut n = 0;
+    while n < 256 {
         let mut c = n as u32;
-        for _ in 0..8 {
+        let mut k = 0;
+        while k < 8 {
             c = if c & 1 != 0 {
                 0xEDB8_8320 ^ (c >> 1)
             } else {
                 c >> 1
             };
+            k += 1;
         }
-        *entry = c;
+        table[n] = c;
+        n += 1;
     }
-    let mut crc = 0xFFFF_FFFFu32;
+    table
+};
+
+/// Fold `data` into a running (pre-inverted) CRC-32 state.
+#[inline]
+fn crc32_update(mut crc: u32, data: &[u8]) -> u32 {
     for &b in data {
-        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+        crc = CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
     }
-    crc ^ 0xFFFF_FFFF
+    crc
+}
+
+/// CRC-32 (IEEE 802.3) over `data`, as PNG requires.
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+/// Largest number of bytes that can be folded into an Adler-32 state
+/// between modular reductions without overflowing u32 (zlib's NMAX).
+const ADLER_NMAX: usize = 5_552;
+const ADLER_MOD: u32 = 65_521;
+
+/// Fold `data` into a running Adler-32 state `(a, b)`; both components are
+/// left reduced mod 65521, so updates can be chained on arbitrary slices.
+#[inline]
+fn adler32_update(a: &mut u32, b: &mut u32, data: &[u8]) {
+    for chunk in data.chunks(ADLER_NMAX) {
+        for &x in chunk {
+            *a += x as u32;
+            *b += *a;
+        }
+        *a %= ADLER_MOD;
+        *b %= ADLER_MOD;
+    }
 }
 
 /// Adler-32 checksum, as zlib requires.
 pub fn adler32(data: &[u8]) -> u32 {
-    const MOD: u32 = 65_521;
-    let mut a: u32 = 1;
-    let mut b: u32 = 0;
-    for chunk in data.chunks(5_552) {
-        for &x in chunk {
-            a += x as u32;
-            b += a;
-        }
-        a %= MOD;
-        b %= MOD;
-    }
+    let (mut a, mut b) = (1u32, 0u32);
+    adler32_update(&mut a, &mut b, data);
     (b << 16) | a
+}
+
+/// The exact stored-deflate layout of the PNG this encoder produces for a
+/// `w × h` RGB image. Both [`PngEncoder`] (to frame blocks and reserve the
+/// output) and [`encoded_png_size`] (to predict bytes without encoding)
+/// derive from this one function, which is what keeps the prediction exact
+/// by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PngLayout {
+    /// Filtered scanline bytes: `h · (1 + 3·w)`.
+    pub raw_len: usize,
+    /// Stored deflate blocks needed (≥ 1 even for empty payloads).
+    pub n_blocks: usize,
+    /// zlib stream length: header + blocks + Adler-32.
+    pub zlib_len: usize,
+    /// Total file length in bytes.
+    pub file_len: u64,
+}
+
+/// Compute the [`PngLayout`] for a `w × h` RGB image.
+pub fn png_layout(w: usize, h: usize) -> PngLayout {
+    let raw_len = h * (1 + 3 * w);
+    let n_blocks = raw_len.div_ceil(STORED_BLOCK_MAX).max(1);
+    let zlib_len = 2 + raw_len + 5 * n_blocks + 4;
+    // signature + IHDR(12+13) + IDAT(12+zlib) + IEND(12)
+    let file_len = (8 + 25 + 12 + zlib_len + 12) as u64;
+    PngLayout {
+        raw_len,
+        n_blocks,
+        zlib_len,
+        file_len,
+    }
+}
+
+/// Appends one PNG chunk's type + payload bytes while maintaining the
+/// chunk's CRC-32 incrementally; `finish` seals the chunk with the CRC.
+/// The 4-byte length header is the caller's job (it must be known before
+/// the payload is streamed — see [`png_layout`]).
+struct ChunkWriter<'a> {
+    out: &'a mut Vec<u8>,
+    crc: u32,
+}
+
+impl<'a> ChunkWriter<'a> {
+    fn begin(out: &'a mut Vec<u8>, payload_len: u32, kind: &[u8; 4]) -> Self {
+        out.extend_from_slice(&payload_len.to_be_bytes());
+        let mut w = ChunkWriter {
+            out,
+            crc: 0xFFFF_FFFF,
+        };
+        w.put(kind);
+        w
+    }
+
+    #[inline]
+    fn put(&mut self, bytes: &[u8]) {
+        self.crc = crc32_update(self.crc, bytes);
+        self.out.extend_from_slice(bytes);
+    }
+
+    fn finish(self) {
+        let crc = self.crc ^ 0xFFFF_FFFF;
+        self.out.extend_from_slice(&crc.to_be_bytes());
+    }
+}
+
+/// Single-pass streaming PNG encoder with a reusable scanline scratch
+/// buffer. Create once per run and call [`PngEncoder::encode_into`] per
+/// frame; output bytes are identical to [`encode_png_reference`].
+#[derive(Debug, Clone, Default)]
+pub struct PngEncoder {
+    /// One filtered scanline (`1 + 3·w` bytes), reused across rows and
+    /// frames.
+    row: Vec<u8>,
+}
+
+impl PngEncoder {
+    /// A fresh encoder (no scratch allocated until first use).
+    pub fn new() -> Self {
+        PngEncoder::default()
+    }
+
+    /// Encode `img` into `out` (cleared first). Appends exactly
+    /// [`png_layout`]`(w, h).file_len` bytes.
+    pub fn encode_into(&mut self, img: &ImageBuffer, out: &mut Vec<u8>) {
+        let (w, h) = (img.width(), img.height());
+        let layout = png_layout(w, h);
+        out.clear();
+        out.reserve(layout.file_len as usize);
+        out.extend_from_slice(&PNG_SIGNATURE);
+
+        // IHDR.
+        let mut ihdr = ChunkWriter::begin(out, 13, b"IHDR");
+        ihdr.put(&(w as u32).to_be_bytes());
+        ihdr.put(&(h as u32).to_be_bytes());
+        ihdr.put(&[8, 2, 0, 0, 0]); // depth, RGB, compression, filter, interlace
+        ihdr.finish();
+
+        // IDAT: zlib header, stored blocks framed on the fly, Adler-32.
+        let mut idat = ChunkWriter::begin(out, layout.zlib_len as u32, b"IDAT");
+        idat.put(&[0x78, 0x01]); // CMF: deflate, 32K window; FLG: no dict
+        let (mut a, mut b) = (1u32, 0u32);
+        let mut raw_remaining = layout.raw_len;
+        let mut block_remaining = 0usize;
+        if raw_remaining == 0 {
+            // One empty final stored block (unreachable for ImageBuffers,
+            // whose dimensions are positive; kept for layout parity).
+            idat.put(&[0x01, 0x00, 0x00, 0xFF, 0xFF]);
+        }
+        self.row.resize(1 + 3 * w, 0);
+        for y in 0..h {
+            // Fill the scanline scratch: filter byte 0 (None) + RGB triples.
+            self.row[0] = 0;
+            for (dst, p) in self.row[1..]
+                .chunks_exact_mut(3)
+                .zip(&img.pixels()[y * w..(y + 1) * w])
+            {
+                dst[0] = p.r;
+                dst[1] = p.g;
+                dst[2] = p.b;
+            }
+            // Stream it through the stored-block framing.
+            let mut src = &self.row[..];
+            while !src.is_empty() {
+                if block_remaining == 0 {
+                    let len = raw_remaining.min(STORED_BLOCK_MAX);
+                    let bfinal = if raw_remaining <= STORED_BLOCK_MAX {
+                        1
+                    } else {
+                        0
+                    };
+                    idat.put(&[bfinal]);
+                    idat.put(&(len as u16).to_le_bytes());
+                    idat.put(&(!(len as u16)).to_le_bytes());
+                    block_remaining = len;
+                }
+                let take = src.len().min(block_remaining);
+                idat.put(&src[..take]);
+                adler32_update(&mut a, &mut b, &src[..take]);
+                block_remaining -= take;
+                raw_remaining -= take;
+                src = &src[take..];
+            }
+        }
+        idat.put(&((b << 16) | a).to_be_bytes());
+        idat.finish();
+
+        ChunkWriter::begin(out, 0, b"IEND").finish();
+        debug_assert_eq!(out.len() as u64, layout.file_len, "layout drifted");
+    }
+}
+
+/// Encode an image as a PNG file (one-shot convenience over
+/// [`PngEncoder`]).
+pub fn encode_png(img: &ImageBuffer) -> Vec<u8> {
+    let mut out = Vec::new();
+    PngEncoder::new().encode_into(img, &mut out);
+    out
 }
 
 fn push_chunk(out: &mut Vec<u8>, kind: &[u8; 4], payload: &[u8]) {
@@ -61,10 +259,10 @@ fn push_chunk(out: &mut Vec<u8>, kind: &[u8; 4], payload: &[u8]) {
 
 /// Wrap raw bytes in a zlib stream of stored deflate blocks.
 fn zlib_stored(data: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(data.len() + data.len() / 65_535 * 5 + 16);
+    let mut out = Vec::with_capacity(data.len() + data.len() / STORED_BLOCK_MAX * 5 + 16);
     out.push(0x78); // CMF: deflate, 32K window
     out.push(0x01); // FLG: no preset dict, fastest (checksum-correct)
-    let mut chunks = data.chunks(65_535).peekable();
+    let mut chunks = data.chunks(STORED_BLOCK_MAX).peekable();
     if data.is_empty() {
         // One empty final stored block.
         out.extend_from_slice(&[0x01, 0x00, 0x00, 0xFF, 0xFF]);
@@ -81,8 +279,11 @@ fn zlib_stored(data: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Encode an image as a PNG file.
-pub fn encode_png(img: &ImageBuffer) -> Vec<u8> {
+/// The seed's original copy-chain encoder (`to_rgb_bytes` → scanline
+/// assembly → `zlib_stored` → chunk copy), kept verbatim as the golden
+/// reference for [`PngEncoder`] and as the baseline `native_bench`
+/// measures encode throughput against.
+pub fn encode_png_reference(img: &ImageBuffer) -> Vec<u8> {
     let (w, h) = (img.width(), img.height());
     let mut out = Vec::with_capacity(w * h * 3 + h + 128);
     out.extend_from_slice(&PNG_SIGNATURE);
@@ -110,13 +311,61 @@ pub fn encode_png(img: &ImageBuffer) -> Vec<u8> {
 }
 
 /// Exact size in bytes of the PNG this encoder produces for a `w × h` image,
-/// without encoding. Used for byte accounting in the pipelines.
+/// without encoding. Used for byte accounting in the pipelines. Derived
+/// from the same [`png_layout`] the encoder frames blocks with.
 pub fn encoded_png_size(w: usize, h: usize) -> u64 {
-    let raw = h * (1 + 3 * w);
-    let n_blocks = raw.div_ceil(65_535).max(1);
-    let zlib = 2 + raw + 5 * n_blocks + 4;
-    // signature + IHDR(12+13) + IDAT(12+zlib) + IEND(12)
-    (8 + 25 + 12 + zlib + 12) as u64
+    png_layout(w, h).file_len
+}
+
+/// Minimal structural PNG parser: validates the signature and every
+/// chunk's CRC, returning `(type, payload)` pairs. A verification helper
+/// for tests (unit, integration and property) — not a general decoder.
+///
+/// # Panics
+/// Panics on any structural violation.
+pub fn parse_png_chunks(data: &[u8]) -> Vec<(String, Vec<u8>)> {
+    assert_eq!(&data[..8], &PNG_SIGNATURE);
+    let mut chunks = Vec::new();
+    let mut pos = 8;
+    while pos < data.len() {
+        let len = u32::from_be_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+        let kind = String::from_utf8(data[pos + 4..pos + 8].to_vec()).unwrap();
+        let payload = data[pos + 8..pos + 8 + len].to_vec();
+        let stored_crc =
+            u32::from_be_bytes(data[pos + 8 + len..pos + 12 + len].try_into().unwrap());
+        let computed = crc32(&data[pos + 4..pos + 8 + len]);
+        assert_eq!(stored_crc, computed, "bad CRC on {kind}");
+        chunks.push((kind, payload));
+        pos += 12 + len;
+    }
+    chunks
+}
+
+/// Decode a zlib stream of stored deflate blocks (the inverse of this
+/// encoder's IDAT payload), verifying LEN/NLEN framing and the Adler-32.
+/// A verification helper for tests — only stored blocks are understood.
+///
+/// # Panics
+/// Panics on compressed blocks, framing errors, or checksum mismatch.
+pub fn unzlib_stored(z: &[u8]) -> Vec<u8> {
+    assert_eq!(z[0] & 0x0F, 8, "deflate method");
+    let mut out = Vec::new();
+    let mut pos = 2;
+    loop {
+        let bfinal = z[pos] & 1;
+        assert_eq!(z[pos] >> 1, 0, "stored block expected");
+        let len = u16::from_le_bytes(z[pos + 1..pos + 3].try_into().unwrap()) as usize;
+        let nlen = u16::from_le_bytes(z[pos + 3..pos + 5].try_into().unwrap());
+        assert_eq!(!(len as u16), nlen, "LEN/NLEN mismatch");
+        out.extend_from_slice(&z[pos + 5..pos + 5 + len]);
+        pos += 5 + len;
+        if bfinal == 1 {
+            break;
+        }
+    }
+    let expect = u32::from_be_bytes(z[pos..pos + 4].try_into().unwrap());
+    assert_eq!(adler32(&out), expect, "adler mismatch");
+    out
 }
 
 #[cfg(test)]
@@ -124,45 +373,8 @@ mod tests {
     use super::*;
     use crate::color::Rgb;
 
-    /// Minimal structural PNG parser used only for verification.
     fn parse_chunks(data: &[u8]) -> Vec<(String, Vec<u8>)> {
-        assert_eq!(&data[..8], &PNG_SIGNATURE);
-        let mut chunks = Vec::new();
-        let mut pos = 8;
-        while pos < data.len() {
-            let len = u32::from_be_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
-            let kind = String::from_utf8(data[pos + 4..pos + 8].to_vec()).unwrap();
-            let payload = data[pos + 8..pos + 8 + len].to_vec();
-            let stored_crc =
-                u32::from_be_bytes(data[pos + 8 + len..pos + 12 + len].try_into().unwrap());
-            let computed = crc32(&data[pos + 4..pos + 8 + len]);
-            assert_eq!(stored_crc, computed, "bad CRC on {kind}");
-            chunks.push((kind, payload));
-            pos += 12 + len;
-        }
-        chunks
-    }
-
-    /// Decode a zlib stream of stored blocks (inverse of `zlib_stored`).
-    fn unzlib_stored(z: &[u8]) -> Vec<u8> {
-        assert_eq!(z[0] & 0x0F, 8, "deflate method");
-        let mut out = Vec::new();
-        let mut pos = 2;
-        loop {
-            let bfinal = z[pos] & 1;
-            assert_eq!(z[pos] >> 1, 0, "stored block expected");
-            let len = u16::from_le_bytes(z[pos + 1..pos + 3].try_into().unwrap()) as usize;
-            let nlen = u16::from_le_bytes(z[pos + 3..pos + 5].try_into().unwrap());
-            assert_eq!(!(len as u16), nlen, "LEN/NLEN mismatch");
-            out.extend_from_slice(&z[pos + 5..pos + 5 + len]);
-            pos += 5 + len;
-            if bfinal == 1 {
-                break;
-            }
-        }
-        let expect = u32::from_be_bytes(z[pos..pos + 4].try_into().unwrap());
-        assert_eq!(adler32(&out), expect, "adler mismatch");
-        out
+        parse_png_chunks(data)
     }
 
     #[test]
@@ -176,6 +388,20 @@ mod tests {
     fn adler32_known_vectors() {
         assert_eq!(adler32(b""), 1);
         assert_eq!(adler32(b"Wikipedia"), 0x11E6_0398);
+    }
+
+    #[test]
+    fn incremental_checksums_match_oneshot_at_any_split() {
+        let data: Vec<u8> = (0..40_000u32).map(|i| (i * 31 % 251) as u8).collect();
+        for split in [0, 1, 7, 5_551, 5_552, 5_553, 39_999] {
+            let (head, tail) = data.split_at(split);
+            let crc = crc32_update(crc32_update(0xFFFF_FFFF, head), tail) ^ 0xFFFF_FFFF;
+            assert_eq!(crc, crc32(&data), "crc split at {split}");
+            let (mut a, mut b) = (1u32, 0u32);
+            adler32_update(&mut a, &mut b, head);
+            adler32_update(&mut a, &mut b, tail);
+            assert_eq!((b << 16) | a, adler32(&data), "adler split at {split}");
+        }
     }
 
     #[test]
@@ -214,9 +440,67 @@ mod tests {
         assert_eq!(&raw[14..17], &[0, 100, 7]); // pixel (0,1)
     }
 
+    /// A deterministic non-trivial test image.
+    fn patterned(w: usize, h: usize) -> ImageBuffer {
+        let mut img = ImageBuffer::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                img.set(
+                    x,
+                    y,
+                    Rgb::new((x * 7 + y * 13) as u8, (x ^ y) as u8, (x * y % 251) as u8),
+                );
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn streaming_encoder_matches_reference_bytes() {
+        // Including widths whose scanlines straddle the 65 535-byte
+        // stored-block boundary mid-row and mid-file.
+        let mut enc = PngEncoder::new();
+        let mut out = Vec::new();
+        for (w, h) in [
+            (1, 1),
+            (5, 3),
+            (64, 64),
+            (333, 17),
+            (256, 100),
+            (21_844, 1),
+            (21_845, 1),
+            (21_846, 2),
+            (4_096, 6),
+        ] {
+            let img = patterned(w, h);
+            enc.encode_into(&img, &mut out);
+            assert_eq!(
+                out,
+                encode_png_reference(&img),
+                "encoder diverged from reference at {w}x{h}"
+            );
+        }
+    }
+
     #[test]
     fn size_prediction_is_exact() {
-        for (w, h) in [(1, 1), (5, 3), (64, 64), (333, 17)] {
+        // The original sizes, plus widths that straddle the 65 535-byte
+        // stored-block boundary: raw = h·(1+3w), so w = 21 844 → 65 533
+        // raw bytes (one block), w = 21 845 → 65 536 (two blocks, second
+        // of length 1), and multi-row shapes whose rows split mid-block.
+        for (w, h) in [
+            (1, 1),
+            (5, 3),
+            (64, 64),
+            (333, 17),
+            (21_844, 1),
+            (21_845, 1),
+            (21_846, 1),
+            (21_844, 2),
+            (21_845, 3),
+            (10_922, 2),
+            (4_096, 6),
+        ] {
             let img = ImageBuffer::new(w, h);
             assert_eq!(
                 encode_png(&img).len() as u64,
@@ -235,6 +519,7 @@ mod tests {
         let raw = unzlib_stored(&chunks[1].1);
         assert_eq!(raw.len(), 100 * 769);
         assert_eq!(png.len() as u64, encoded_png_size(256, 100));
+        assert_eq!(png_layout(256, 100).n_blocks, 2);
     }
 
     #[test]
