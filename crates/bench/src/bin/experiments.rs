@@ -152,6 +152,23 @@ fn extensions() {
     }
 }
 
+fn fault() {
+    banner("What-if — energy vs sampling rate under a 50% OSS brownout");
+    for kind in [
+        ivis_core::PipelineKind::PostProcessing,
+        ivis_core::PipelineKind::InSitu,
+    ] {
+        println!("  {}:", kind.label());
+        println!("  every (h) | clean GJ | degraded GJ | time stretch (%) | outputs shed");
+        for r in degraded_storage_rows(kind) {
+            println!(
+                "  {:>9.0} | {:>8.3} | {:>11.3} | {:>16.2} | {:>12}",
+                r.hours, r.clean_gj, r.degraded_gj, r.time_stretch_pct, r.outputs_shed
+            );
+        }
+    }
+}
+
 fn native() {
     banner("Native backend — both pipelines, real wall-clock");
     let cfg = NativeConfig::small();
@@ -249,6 +266,7 @@ fn main() {
                 println!("  {f}");
             }
         }
+        "fault" => fault(),
         "native" => native(),
         "trace" => trace(&args[1..]),
         "table1" => table1(),
@@ -267,12 +285,13 @@ fn main() {
             proportionality();
             ablations();
             extensions();
+            fault();
             native();
         }
         other => {
             eprintln!("unknown experiment: {other}");
             eprintln!(
-                "usage: experiments [all|fig2..fig10|eq5|proportionality|ablations|extensions|csv [dir]|native|trace [insitu|post] [hours]|table1]"
+                "usage: experiments [all|fig2..fig10|eq5|proportionality|ablations|extensions|csv [dir]|fault|native|trace [insitu|post] [hours]|table1]"
             );
             std::process::exit(2);
         }

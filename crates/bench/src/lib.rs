@@ -510,9 +510,78 @@ pub fn ablation_storage_proportionality_rows() -> Vec<(f64, f64)> {
         .collect()
 }
 
+/// One row of the degraded-storage what-if (see
+/// [`degraded_storage_rows`]).
+#[derive(Debug, Clone, Copy)]
+pub struct DegradedRow {
+    /// Sampling interval, simulated hours.
+    pub hours: f64,
+    /// Clean-run total energy, GJ.
+    pub clean_gj: f64,
+    /// Total energy under the brownout, GJ.
+    pub degraded_gj: f64,
+    /// Execution-time stretch of the degraded run, percent.
+    pub time_stretch_pct: f64,
+    /// Outputs shed by the degradation machinery (0 = rate preserved).
+    pub outputs_shed: u64,
+}
+
+/// Degraded-storage what-if: the measured post-processing energy-vs-rate
+/// curve under a 50 % OSS bandwidth brownout spanning the whole run,
+/// next to the clean curve (the counterpart of the model-side Fig. 10
+/// curve from [`fig10_rows`]). Halving the storage bandwidth doubles the
+/// I/O phases, and — because compute nodes busy-wait through collectives —
+/// the extra hours are billed at near-full cluster power, so the energy
+/// gap between the curves grows as the sampling rate rises.
+pub fn degraded_storage_rows(kind: PipelineKind) -> Vec<DegradedRow> {
+    use ivis_fault::{FaultKind, FaultPlan, FaultScenario, FaultWindow};
+    let campaign = Campaign::paper();
+    PAPER_RATES
+        .iter()
+        .map(|&hours| {
+            let pc = PipelineConfig::paper(kind, hours);
+            let clean = campaign.run(&pc);
+            let plan = FaultPlan::new(0xB10).inject(
+                FaultWindow::of_secs(0, 100_000_000),
+                FaultKind::OssBrownout { scale: 0.5 },
+            );
+            let degraded = campaign
+                .run_faulted(&pc, &FaultScenario::with_plan(plan))
+                .expect("a brownout alone never kills a run");
+            let t_clean = clean.execution_time.as_secs_f64();
+            let t_bad = degraded.metrics.execution_time.as_secs_f64();
+            DegradedRow {
+                hours,
+                clean_gj: clean.energy_total().joules() / 1e9,
+                degraded_gj: degraded.metrics.energy_total().joules() / 1e9,
+                time_stretch_pct: (t_bad - t_clean) / t_clean * 100.0,
+                outputs_shed: degraded.stats.outputs_shed + degraded.stats.space_sheds,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn degraded_storage_curve_sits_above_clean() {
+        let rows = degraded_storage_rows(PipelineKind::PostProcessing);
+        assert_eq!(rows.len(), PAPER_RATES.len());
+        for r in &rows {
+            assert!(
+                r.degraded_gj > r.clean_gj,
+                "brownout must cost energy at {} h: {} vs {} GJ",
+                r.hours,
+                r.degraded_gj,
+                r.clean_gj
+            );
+            assert!(r.time_stretch_pct > 0.0);
+        }
+        // The gap shrinks as sampling gets sparser (less I/O to slow down).
+        assert!(rows[0].degraded_gj - rows[0].clean_gj > rows[2].degraded_gj - rows[2].clean_gj);
+    }
 
     #[test]
     fn fig3_shapes_match_paper() {

@@ -15,12 +15,16 @@
 //!   collectives).
 //! * [`machine`] — the instrumented machine: applies phase loads to nodes,
 //!   drives the per-cage meters, and produces cluster-level power profiles.
+//! * [`straggler`] — per-node slowdown tracking for fault injection: under
+//!   bulk-synchronous execution the slowest node gates every step.
 
 pub mod interconnect;
 pub mod machine;
 pub mod phase;
+pub mod straggler;
 pub mod topology;
 
 pub use machine::Machine;
 pub use phase::{IoWaitPolicy, JobPhase, PhaseRecord, PhaseTimeline};
+pub use straggler::StragglerSet;
 pub use topology::{CageId, ClusterTopology, NodeId};

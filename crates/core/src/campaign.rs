@@ -28,6 +28,7 @@ use ivis_storage::ParallelFileSystem;
 
 use crate::config::{PipelineConfig, PipelineKind};
 use crate::metrics::PipelineMetrics;
+use crate::resilience::PipelineError;
 
 /// Knobs of the measurement campaign.
 #[derive(Debug, Clone)]
@@ -88,20 +89,20 @@ impl CampaignConfig {
 /// next one at the same instant `Machine::begin_phase` switches loads, so
 /// the trace tiles the run exactly and per-phase energy attribution is
 /// conservative.
-struct PhaseTracer<'a> {
+pub(crate) struct PhaseTracer<'a> {
     rec: &'a Recorder,
     open: SpanId,
 }
 
 impl<'a> PhaseTracer<'a> {
-    fn new(rec: &'a Recorder) -> Self {
+    pub(crate) fn new(rec: &'a Recorder) -> Self {
         PhaseTracer {
             rec,
             open: SpanId::NONE,
         }
     }
 
-    fn begin(&mut self, machine: &mut Machine, t: SimTime, phase: JobPhase) {
+    pub(crate) fn begin(&mut self, machine: &mut Machine, t: SimTime, phase: JobPhase) {
         self.rec.close(t, self.open);
         machine.begin_phase(t, phase);
         self.open = self.rec.phase_span(t, phase, Component::Compute);
@@ -112,11 +113,11 @@ impl<'a> PhaseTracer<'a> {
     }
 
     /// Attach an attribute to the currently open phase span.
-    fn attr(&self, key: &'static str, value: AttrValue) {
+    pub(crate) fn attr(&self, key: &'static str, value: AttrValue) {
         self.rec.set_attr(self.open, key, value);
     }
 
-    fn finish(self, machine: &mut Machine, t: SimTime) {
+    pub(crate) fn finish(self, machine: &mut Machine, t: SimTime) {
         self.rec.close(t, self.open);
         machine.finish(t);
     }
@@ -127,7 +128,7 @@ impl<'a> PhaseTracer<'a> {
 /// backlog gauges sampled at both submission and completion (for
 /// synchronous writes the backlog drains to zero at `done`; with a burst
 /// buffer it stays positive while Lustre catches up).
-fn note_write(
+pub(crate) fn note_write(
     rec: &Recorder,
     pfs: &ParallelFileSystem,
     submitted: SimTime,
@@ -225,7 +226,18 @@ impl Campaign {
     }
 
     /// Execute one pipeline configuration and return its metrics.
+    ///
+    /// Panics if the storage model rejects an operation (the paper
+    /// configurations always fit); [`try_run`](Self::try_run) returns the
+    /// failure as a typed error instead.
     pub fn run(&self, pc: &PipelineConfig) -> PipelineMetrics {
+        self.try_run(pc)
+            .unwrap_or_else(|e| panic!("pipeline run failed: {e}"))
+    }
+
+    /// Execute one pipeline configuration, threading storage failures out
+    /// as [`PipelineError`] values instead of unwrapping mid-run.
+    pub fn try_run(&self, pc: &PipelineConfig) -> Result<PipelineMetrics, PipelineError> {
         match pc.kind {
             PipelineKind::InSitu => self.run_insitu(pc),
             PipelineKind::PostProcessing => self.run_postproc(pc),
@@ -242,7 +254,7 @@ impl Campaign {
 
     /// Open the root `campaign` span carrying the run's identity
     /// (pipeline kind, output rate, I/O wait policy).
-    fn open_root(&self, pc: &PipelineConfig, t: SimTime) -> SpanId {
+    pub(crate) fn open_root(&self, pc: &PipelineConfig, t: SimTime) -> SpanId {
         let rec = &self.config.recorder;
         let root = rec.span(t, "campaign", Component::Campaign);
         rec.set_attr(root, "kind", AttrValue::Str(pc.kind.label()));
@@ -329,6 +341,17 @@ impl Campaign {
         pc: &PipelineConfig,
         bb: ivis_storage::burst_buffer::BurstBufferConfig,
     ) -> PipelineMetrics {
+        self.try_run_postproc_burst_buffer(pc, bb)
+            .unwrap_or_else(|e| panic!("pipeline run failed: {e}"))
+    }
+
+    /// [`run_postproc_burst_buffer`](Self::run_postproc_burst_buffer) with
+    /// storage failures returned as typed errors.
+    pub fn try_run_postproc_burst_buffer(
+        &self,
+        pc: &PipelineConfig,
+        bb: ivis_storage::burst_buffer::BurstBufferConfig,
+    ) -> Result<PipelineMetrics, PipelineError> {
         use ivis_storage::burst_buffer::BurstBuffer;
         let mut rng = SimRng::new(self.config.seed ^ 0xBB);
         let mut machine = self.machine();
@@ -353,7 +376,7 @@ impl Campaign {
             let submitted = now;
             now = buf
                 .write(&mut pfs, now, &path, raw)
-                .expect("paper configs fit in the rack");
+                .map_err(|source| PipelineError::storage(now, &path, source))?;
             rec.close(now, wid);
             note_write(rec, &pfs, submitted, now, k, raw);
         }
@@ -380,14 +403,14 @@ impl Campaign {
         let submitted = now;
         now = pfs
             .write(now, "/postproc-bb/images.tar", images)
-            .expect("images fit");
+            .map_err(|source| PipelineError::storage(now, "/postproc-bb/images.tar", source))?;
         note_write(rec, &pfs, submitted, now, n_out, images);
         tracer.finish(&mut machine, now);
         rec.close(now, root);
-        self.harvest(pc, machine, &pfs, now, n_out)
+        Ok(self.harvest(pc, machine, &pfs, now, n_out))
     }
 
-    fn run_insitu(&self, pc: &PipelineConfig) -> PipelineMetrics {
+    fn run_insitu(&self, pc: &PipelineConfig) -> Result<PipelineMetrics, PipelineError> {
         let mut rng = SimRng::new(self.config.seed);
         let mut machine = self.machine();
         let mut pfs = ParallelFileSystem::caddy_lustre();
@@ -419,7 +442,7 @@ impl Campaign {
             let submitted = now;
             now = pfs
                 .write(now, &path, self.config.image_bytes_per_output)
-                .expect("caddy rack cannot fill with images");
+                .map_err(|source| PipelineError::storage(now, &path, source))?;
             rec.close(now, wid);
             note_write(
                 rec,
@@ -438,10 +461,10 @@ impl Campaign {
         }
         tracer.finish(&mut machine, now);
         rec.close(now, root);
-        self.harvest(pc, machine, &pfs, now, n_out)
+        Ok(self.harvest(pc, machine, &pfs, now, n_out))
     }
 
-    fn run_postproc(&self, pc: &PipelineConfig) -> PipelineMetrics {
+    fn run_postproc(&self, pc: &PipelineConfig) -> Result<PipelineMetrics, PipelineError> {
         let mut rng = SimRng::new(self.config.seed ^ 0x5151);
         let mut machine = self.machine();
         let mut pfs = ParallelFileSystem::caddy_lustre();
@@ -465,7 +488,7 @@ impl Campaign {
             let submitted = now;
             now = pfs
                 .write(now, &path, raw)
-                .expect("paper configs fit in the 7.7 TB rack");
+                .map_err(|source| PipelineError::storage(now, &path, source))?;
             rec.close(now, wid);
             note_write(rec, &pfs, submitted, now, k, raw);
         }
@@ -488,11 +511,11 @@ impl Campaign {
         let submitted = now;
         now = pfs
             .write(now, "/postproc/images.tar", images)
-            .expect("images fit");
+            .map_err(|source| PipelineError::storage(now, "/postproc/images.tar", source))?;
         note_write(rec, &pfs, submitted, now, n_out, images);
         tracer.finish(&mut machine, now);
         rec.close(now, root);
-        self.harvest(pc, machine, &pfs, now, n_out)
+        Ok(self.harvest(pc, machine, &pfs, now, n_out))
     }
 }
 

@@ -21,6 +21,7 @@ use ivis_storage::ParallelFileSystem;
 use crate::campaign::Campaign;
 use crate::config::{PipelineConfig, PipelineKind};
 use crate::metrics::PipelineMetrics;
+use crate::resilience::PipelineError;
 
 /// In-transit specific knobs.
 #[derive(Debug, Clone)]
@@ -48,6 +49,17 @@ impl Campaign {
     /// scales accordingly); rendering time scales inversely with the staging
     /// partition size from the paper's whole-machine β.
     pub fn run_intransit(&self, pc: &PipelineConfig, it: &InTransitConfig) -> PipelineMetrics {
+        self.try_run_intransit(pc, it)
+            .unwrap_or_else(|e| panic!("pipeline run failed: {e}"))
+    }
+
+    /// [`run_intransit`](Self::run_intransit) with storage failures
+    /// returned as typed errors.
+    pub fn try_run_intransit(
+        &self,
+        pc: &PipelineConfig,
+        it: &InTransitConfig,
+    ) -> Result<PipelineMetrics, PipelineError> {
         let mut rng = SimRng::new(self.config.seed ^ 0x17A7);
         let mut machine = self.machine();
         let mut pfs = ParallelFileSystem::caddy_lustre();
@@ -108,13 +120,10 @@ impl Campaign {
             // Staging renders this sample and writes its images.
             let render = SimDuration::from_secs_f64(staging_viz_secs * self.noise(&mut rng));
             let render_done = now + render;
+            let path = format!("/intransit/cinema/ts_{k:06}.png");
             let image_done = pfs
-                .write(
-                    render_done,
-                    &format!("/intransit/cinema/ts_{k:06}.png"),
-                    self.config.image_bytes_per_output,
-                )
-                .expect("images fit in the rack");
+                .write(render_done, &path, self.config.image_bytes_per_output)
+                .map_err(|source| PipelineError::storage(render_done, &path, source))?;
             staging_free = image_done;
         }
         // Trailing simulation steps, then wait out the staging tail.
@@ -128,7 +137,7 @@ impl Campaign {
             now = staging_free;
         }
         machine.finish(now);
-        self.harvest(pc, machine, &pfs, now, n_out)
+        Ok(self.harvest(pc, machine, &pfs, now, n_out))
     }
 }
 

@@ -24,14 +24,21 @@
 //! Shared pieces: [`adaptor`] (the Catalyst analogue), [`config`]
 //! (pipeline kind, sampling rate, cost constants).
 
+//! A third concern cuts across both backends: [`resilience`] runs the same
+//! pipelines under an [`ivis_fault::FaultPlan`] with retry/timeout/
+//! degradation machinery, producing a [`resilience::FaultedRun`] that
+//! degrades gracefully instead of panicking.
+
 pub mod adaptor;
 pub mod campaign;
 pub mod config;
 pub mod intransit;
 pub mod metrics;
 pub mod native;
+pub mod resilience;
 
 pub use adaptor::{CatalystAdaptor, VizSnapshot};
 pub use campaign::{Campaign, CampaignConfig};
 pub use config::{PipelineConfig, PipelineKind};
 pub use metrics::PipelineMetrics;
+pub use resilience::{FaultedRun, PipelineError};

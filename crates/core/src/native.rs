@@ -20,7 +20,7 @@
 //! structure) are **bit-identical** to [`run_native_insitu_sequential`],
 //! which keeps the original strictly-serialized loop as the golden
 //! baseline. Phase wall times are measured on each thread and replayed
-//! through the same [`WallTracer`] in sequential order after the join, so
+//! through the same wall tracer in sequential order after the join, so
 //! recorded traces have the same span/event/counter sequence either way.
 
 use std::sync::mpsc;
@@ -31,6 +31,7 @@ use ivis_eddy::census::{frame_census, FrameCensus};
 use ivis_eddy::features::extract_features;
 use ivis_eddy::segment::segment_eddies;
 use ivis_eddy::tracking::{EddyTracker, Track};
+use ivis_fault::{FaultScenario, FaultSession, FaultStats};
 use ivis_obs::{AttrValue, Component, Recorder, SpanId};
 use ivis_ocean::grid::Grid;
 use ivis_ocean::shallow_water::{ShallowWaterModel, SwParams};
@@ -410,6 +411,160 @@ pub fn run_native_insitu_sequential_with(cfg: &NativeConfig, rec: &Recorder) -> 
     }
 }
 
+/// What a fault-aware native run produced.
+#[derive(Debug, Clone)]
+pub struct NativeFaultReport {
+    /// The usual report. `frames`, the Cinema database and the tracks
+    /// cover only the frames actually written — the Cinema index always
+    /// matches the images present, however many frames were shed.
+    pub report: NativeReport,
+    /// What the fault layer did.
+    pub stats: FaultStats,
+}
+
+/// Run the native in-situ pipeline under a fault scenario.
+///
+/// The native backend has no parallel filesystem, so only two fault kinds
+/// apply: `TransientIo` windows make the per-frame image store step fail
+/// probabilistically (retried without wall cost — the store is in-memory —
+/// and shed once the retry budget is exhausted), and the degradation state
+/// machine sheds frames outright at elevated levels. Brownouts, MDS stalls
+/// and disk pressure are storage-model faults and have no native analogue;
+/// compute stragglers don't apply to a single host. Fault windows are
+/// matched against *simulated* time (`snap.sim_hours`), so a plan is
+/// meaningful regardless of host speed, and the run never panics or hangs:
+/// every frame is either written or counted as shed.
+///
+/// With [`FaultScenario::none`] the outputs (Cinema index, PNG bytes, eddy
+/// tracks) are bit-identical to [`run_native_insitu_sequential`].
+pub fn run_native_insitu_faulted(
+    cfg: &NativeConfig,
+    scenario: &FaultScenario,
+) -> NativeFaultReport {
+    run_native_insitu_faulted_with(cfg, scenario, &Recorder::off())
+}
+
+/// [`run_native_insitu_faulted`] with a trace recorder.
+pub fn run_native_insitu_faulted_with(
+    cfg: &NativeConfig,
+    scenario: &FaultScenario,
+    rec: &Recorder,
+) -> NativeFaultReport {
+    let t_run = Instant::now();
+    let mut session = FaultSession::new(scenario);
+    let mut model = cfg.build_model();
+    let mut adaptor = CatalystAdaptor::new();
+    let renderer = FieldRenderer::okubo_weiss(cfg.image_width, cfg.image_height);
+    let mut cinema = CinemaDatabase::new("insitu-eddies");
+    let mut tracker = tracker_for(model.grid());
+    let root = open_native_root(rec, cfg, "insitu");
+    let mut wtr = WallTracer::new(rec);
+    let mut wall_sim = Duration::ZERO;
+    let mut wall_viz = Duration::ZERO;
+    let mut written = 0u64;
+    let mut frame = 0u64;
+    let mut census = frame_census(&[]);
+    let mut step = 0u64;
+    while step < cfg.steps {
+        let chunk = cfg.output_every.min(cfg.steps - step);
+        let t0 = Instant::now();
+        model.run(chunk);
+        let d_sim = t0.elapsed();
+        wall_sim += d_sim;
+        wtr.phase(JobPhase::Simulate, d_sim);
+        step += chunk;
+        let t1 = Instant::now();
+        let snap = adaptor.adapt(&model);
+        // Fault windows are scheduled in simulated time.
+        let sim_t = SimTime::from_secs_f64(snap.sim_hours * 3600.0);
+        if session.should_shed(frame) {
+            session.stats.outputs_shed += 1;
+            rec.event(
+                wtr.now(),
+                "output_shed",
+                Component::Fault,
+                &[
+                    ("index", AttrValue::U64(frame)),
+                    ("reason", AttrValue::Str("degraded")),
+                ],
+            );
+            rec.counter_add(wtr.now(), "fault.sheds", 1.0);
+            frame += 1;
+            continue;
+        }
+        // The image store step may fail transiently. Retries are free in
+        // wall time (the store is in-memory); exhaustion sheds the frame
+        // rather than aborting the solver.
+        let mut failed = 0u32;
+        let stored = loop {
+            if !session.roll_io_failure(sim_t) {
+                break true;
+            }
+            rec.counter_add(wtr.now(), "fault.injected_failures", 1.0);
+            failed += 1;
+            let _ = session.pressure();
+            if failed >= session.retry.max_attempts {
+                break false;
+            }
+            // Draw the jitter so the retry schedule matches the campaign
+            // backend's RNG discipline; no wall time passes here.
+            let _backoff = session.backoff_for(failed);
+            rec.counter_add(wtr.now(), "fault.retries", 1.0);
+        };
+        if stored {
+            census = visualize_frame(
+                &renderer,
+                &mut cinema,
+                &mut tracker,
+                model.grid(),
+                &snap,
+                frame,
+                cfg.annotate,
+            );
+            let d_viz = t1.elapsed();
+            wall_viz += d_viz;
+            wtr.phase(JobPhase::Visualize, d_viz);
+            note_frame(rec, wtr.now(), frame, &census);
+            session.stats.outputs_written += 1;
+            let _ = session.clean();
+            written += 1;
+        } else {
+            session.stats.outputs_shed += 1;
+            rec.event(
+                wtr.now(),
+                "output_shed",
+                Component::Fault,
+                &[
+                    ("index", AttrValue::U64(frame)),
+                    ("reason", AttrValue::Str("retries-exhausted")),
+                ],
+            );
+            rec.counter_add(wtr.now(), "fault.sheds", 1.0);
+        }
+        frame += 1;
+    }
+    let image_bytes = cinema.total_bytes();
+    if rec.is_on() {
+        rec.counter_add(wtr.now(), "native.image_bytes", image_bytes as f64);
+    }
+    rec.close(wtr.now(), root);
+    NativeFaultReport {
+        report: NativeReport {
+            frames: written,
+            wall_sim,
+            wall_viz,
+            wall_io: Duration::ZERO,
+            wall_end_to_end: t_run.elapsed(),
+            raw_bytes: 0,
+            image_bytes,
+            cinema,
+            tracks: tracker.finish(),
+            final_census: census,
+        },
+        stats: session.into_stats(),
+    }
+}
+
 /// Encode a snapshot as an ncdf-lite file (the post-processing raw output):
 /// the Okubo-Weiss field plus everything the renderer needs to reproduce the
 /// in-situ frames exactly (SSH, centered velocities).
@@ -645,5 +800,61 @@ mod tests {
         let b = run_native_insitu(&cfg);
         assert_eq!(a.image_bytes, b.image_bytes);
         assert_eq!(a.tracks.len(), b.tracks.len());
+    }
+
+    #[test]
+    fn faulted_empty_scenario_matches_sequential_exactly() {
+        let cfg = NativeConfig::tiny();
+        let clean = run_native_insitu_sequential(&cfg);
+        let faulted = run_native_insitu_faulted(&cfg, &FaultScenario::none());
+        let r = &faulted.report;
+        assert_eq!(clean.frames, r.frames);
+        assert_eq!(clean.cinema.index_json(), r.cinema.index_json());
+        for (ea, eb) in clean.cinema.entries().iter().zip(r.cinema.entries()) {
+            assert_eq!(ea.data, eb.data, "frame {} differs", ea.timestep);
+        }
+        assert_eq!(clean.tracks, r.tracks);
+        assert_eq!(clean.final_census, r.final_census);
+        assert_eq!(faulted.stats.outputs_written, clean.frames);
+        assert_eq!(faulted.stats.outputs_shed, 0);
+        assert_eq!(faulted.stats.injected_io_failures, 0);
+    }
+
+    #[test]
+    fn total_outage_sheds_every_frame_without_panicking() {
+        use ivis_fault::{FaultKind, FaultPlan, FaultWindow, RetryPolicy};
+        let cfg = NativeConfig::tiny();
+        let plan = FaultPlan::new(1).inject(
+            FaultWindow::of_secs(0, u64::MAX / 2_000_000),
+            FaultKind::TransientIo { fail_prob: 1.0 },
+        );
+        let mut scenario = FaultScenario::with_plan(plan);
+        scenario.retry = RetryPolicy::no_retries();
+        let faulted = run_native_insitu_faulted(&cfg, &scenario);
+        assert_eq!(faulted.report.frames, 0);
+        assert_eq!(faulted.report.cinema.len(), 0, "index matches zero images");
+        assert!(faulted.report.tracks.is_empty());
+        assert_eq!(faulted.stats.outputs_shed, 3);
+        assert_eq!(faulted.stats.outputs_total(), 3);
+    }
+
+    #[test]
+    fn partial_faults_keep_cinema_index_consistent() {
+        use ivis_fault::{FaultKind, FaultPlan, FaultWindow};
+        let cfg = NativeConfig::tiny();
+        let plan = FaultPlan::new(9).inject(
+            FaultWindow::of_secs(0, u64::MAX / 2_000_000),
+            FaultKind::TransientIo { fail_prob: 0.5 },
+        );
+        let scenario = FaultScenario::with_plan(plan);
+        let a = run_native_insitu_faulted(&cfg, &scenario);
+        // The index always matches the images actually written...
+        assert_eq!(a.report.cinema.len() as u64, a.report.frames);
+        assert_eq!(a.report.frames, a.stats.outputs_written);
+        assert_eq!(a.stats.outputs_total(), 3, "every frame accounted for");
+        // ...and the whole degraded run replays deterministically.
+        let b = run_native_insitu_faulted(&cfg, &scenario);
+        assert_eq!(a.report.cinema.index_json(), b.report.cinema.index_json());
+        assert_eq!(a.stats, b.stats);
     }
 }

@@ -1,0 +1,79 @@
+//! Counters a degraded run reports alongside its pipeline metrics.
+
+use ivis_sim::SimDuration;
+
+/// What the fault layer did during one run. All counts are exact and
+/// deterministic for a given plan, so two replays of the same seeded run
+/// must produce `==` stats (the CI fault matrix asserts this through
+/// [`digest`](Self::digest)).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultStats {
+    /// Transient I/O failures the plan injected.
+    pub injected_io_failures: u64,
+    /// Retries performed after injected failures.
+    pub retries: u64,
+    /// Operations that completed but blew their latency SLO.
+    pub slo_violations: u64,
+    /// Outputs shed by the degradation state machine.
+    pub outputs_shed: u64,
+    /// Outputs shed because the rack was out of space.
+    pub space_sheds: u64,
+    /// Outputs written durably.
+    pub outputs_written: u64,
+    /// Degradation escalations.
+    pub escalations: u64,
+    /// Degradation recoveries.
+    pub recoveries: u64,
+    /// Total sim-time spent backing off between retries.
+    pub backoff: SimDuration,
+    /// Degradation level when the run finished.
+    pub final_level: u8,
+}
+
+impl FaultStats {
+    /// Total outputs the run decided about (written + shed either way).
+    pub fn outputs_total(&self) -> u64 {
+        self.outputs_written + self.outputs_shed + self.space_sheds
+    }
+
+    /// A stable one-line rendering of every counter, used for
+    /// bit-identity comparisons across thread counts and process runs.
+    pub fn digest(&self) -> String {
+        format!(
+            "inj={} retries={} slo={} shed={} space_shed={} written={} esc={} rec={} backoff_us={} level={}",
+            self.injected_io_failures,
+            self.retries,
+            self.slo_violations,
+            self.outputs_shed,
+            self.space_sheds,
+            self.outputs_written,
+            self.escalations,
+            self.recoveries,
+            self.backoff.as_micros(),
+            self.final_level,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_stable_and_complete() {
+        let s = FaultStats {
+            injected_io_failures: 3,
+            retries: 3,
+            outputs_written: 10,
+            outputs_shed: 2,
+            backoff: SimDuration::from_millis(1500),
+            final_level: 1,
+            ..FaultStats::default()
+        };
+        assert_eq!(
+            s.digest(),
+            "inj=3 retries=3 slo=0 shed=2 space_shed=0 written=10 esc=0 rec=0 backoff_us=1500000 level=1"
+        );
+        assert_eq!(s.outputs_total(), 12);
+    }
+}

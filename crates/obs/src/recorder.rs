@@ -33,6 +33,8 @@ pub enum Component {
     Viz,
     /// The native (real computation) backend.
     Native,
+    /// Fault injection, retries, and degradation decisions.
+    Fault,
 }
 
 impl Component {
@@ -44,6 +46,7 @@ impl Component {
             Component::Storage => "storage",
             Component::Viz => "viz",
             Component::Native => "native",
+            Component::Fault => "fault",
         }
     }
 }

@@ -89,6 +89,19 @@ impl PowerProfile {
         total
     }
 
+    /// Total energy over a set of disjoint windows: the sum of
+    /// [`energy_between`](Self::energy_between) over each. The fault layer
+    /// uses this to attribute the energy spent inside retry/backoff
+    /// intervals of a degraded run.
+    ///
+    /// # Panics
+    /// Panics if any window's end precedes its start.
+    pub fn energy_over(&self, windows: &[(SimTime, SimTime)]) -> Joules {
+        windows.iter().fold(Joules::ZERO, |acc, &(from, to)| {
+            acc + self.energy_between(from, to)
+        })
+    }
+
     /// Time-weighted average power over the window.
     ///
     /// Returns zero power for an empty profile.

@@ -117,6 +117,31 @@ impl FairShareServer {
         }
     }
 
+    /// Change the service capacity at time `t` — e.g. a bandwidth brownout
+    /// (or its recovery) injected by a fault plan.
+    ///
+    /// The server first advances to `t` under the old capacity, so work
+    /// served before the change is unaffected; everything still queued is
+    /// served at the new rate from `t` on. This keeps the processor-sharing
+    /// arithmetic exact across the change.
+    ///
+    /// # Panics
+    /// Panics if `new_capacity` is not finite and positive, or if `t`
+    /// precedes the server clock.
+    pub fn set_capacity(&mut self, t: SimTime, new_capacity: f64) {
+        assert!(
+            new_capacity.is_finite() && new_capacity > 0.0,
+            "capacity must be positive, got {new_capacity}"
+        );
+        assert!(
+            t >= self.clock,
+            "set_capacity at {t} precedes server clock {}",
+            self.clock
+        );
+        self.advance(t);
+        self.capacity = new_capacity;
+    }
+
     /// Submit a job of `work` units at time `now`.
     ///
     /// Jobs that complete strictly before `now` are buffered and surfaced by
@@ -415,6 +440,36 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = FairShareServer::new(0.0);
+    }
+
+    #[test]
+    fn capacity_change_is_exact_mid_job() {
+        // 100 units at 10/s. At t=5, 50 units remain; halving the capacity
+        // to 5/s means the rest takes 10 more seconds: done at t=15.
+        let mut srv = FairShareServer::new(10.0);
+        srv.submit(SimTime::ZERO, 100.0);
+        srv.set_capacity(SimTime::from_secs(5), 5.0);
+        assert_eq!(srv.capacity(), 5.0);
+        assert_eq!(srv.drained_at(), SimTime::from_secs(15));
+        let done = srv.drain_until(SimTime::from_secs(20));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].at, SimTime::from_secs(15));
+    }
+
+    #[test]
+    fn capacity_restore_recovers_full_rate() {
+        let mut srv = FairShareServer::new(10.0);
+        srv.submit(SimTime::ZERO, 100.0);
+        srv.set_capacity(SimTime::from_secs(2), 2.0); // 80 left at 2/s
+        srv.set_capacity(SimTime::from_secs(7), 10.0); // 70 left at 10/s
+        assert_eq!(srv.drained_at(), SimTime::from_secs(14));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn set_capacity_rejects_zero() {
+        let mut srv = FairShareServer::new(10.0);
+        srv.set_capacity(SimTime::from_secs(1), 0.0);
     }
 
     #[test]

@@ -250,6 +250,34 @@ mod tests {
     }
 
     #[test]
+    fn armed_failure_propagates_without_absorbing() {
+        let mut fs = slow_fs();
+        let mut buf = bb(10_000, 1_000.0);
+        fs.arm_transient_failures(1);
+        let err = buf.write(&mut fs, SimTime::ZERO, "/a", 1_000).unwrap_err();
+        assert!(matches!(err, PfsError::Io { .. }));
+        // The failed write left no drain and absorbed nothing, so a retry
+        // behaves exactly like a first attempt.
+        assert_eq!(buf.bytes_absorbed(), 0);
+        assert_eq!(buf.occupied_at(SimTime::from_secs(5)), 0);
+        let unblocked = buf.write(&mut fs, SimTime::ZERO, "/a", 1_000).unwrap();
+        assert_eq!(unblocked, SimTime::from_secs(1));
+        assert_eq!(fs.size_of("/a").unwrap(), 1_000);
+    }
+
+    #[test]
+    fn brownout_slows_the_background_drain_not_the_absorb() {
+        let mut fs = slow_fs();
+        let mut buf = bb(10_000, 1_000.0);
+        fs.set_oss_bandwidth_scale(SimTime::ZERO, 0.5);
+        let unblocked = buf.write(&mut fs, SimTime::ZERO, "/a", 1_000).unwrap();
+        // NVRAM absorb is unaffected by the OSS brownout...
+        assert_eq!(unblocked, SimTime::from_secs(1));
+        // ...but the 10 s backing drain doubles to 20 s (done at t = 21).
+        assert_eq!(buf.drained_at(unblocked), SimTime::from_secs(21));
+    }
+
+    #[test]
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = BurstBuffer::new(BurstBufferConfig {

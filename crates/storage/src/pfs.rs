@@ -39,6 +39,17 @@ pub enum PfsError {
     NotFound(String),
     /// The path already exists.
     AlreadyExists(String),
+    /// A transient I/O failure: the operation did not start and left no
+    /// trace in the namespace or the queues — retrying it is safe. Raised
+    /// by the fault-injection hooks
+    /// ([`ParallelFileSystem::arm_transient_failures`]); a real deployment
+    /// would surface dropped RPCs or OST evictions this way.
+    Io {
+        /// Which operation failed (`"write"`, `"read"`, `"batch_write"`).
+        op: &'static str,
+        /// The path (or first path of a batch) the operation targeted.
+        path: String,
+    },
 }
 
 impl std::fmt::Display for PfsError {
@@ -49,6 +60,7 @@ impl std::fmt::Display for PfsError {
             }
             PfsError::NotFound(p) => write!(f, "not found: {p}"),
             PfsError::AlreadyExists(p) => write!(f, "already exists: {p}"),
+            PfsError::Io { op, path } => write!(f, "transient I/O failure: {op} {path}"),
         }
     }
 }
@@ -122,6 +134,15 @@ pub struct ParallelFileSystem {
     transfers: Vec<Transfer>,
     bytes_written: u64,
     bytes_read: u64,
+    /// Current OSS bandwidth derating (fault injection; 1.0 = nominal).
+    oss_scale: f64,
+    /// Extra latency added to every metadata operation (fault injection).
+    mds_surcharge: SimDuration,
+    /// Capacity withheld from [`free_bytes`](Self::free_bytes) to model
+    /// full-disk pressure (fault injection).
+    reserved: u64,
+    /// Pending injected transient failures (fault injection).
+    armed_failures: u32,
 }
 
 impl ParallelFileSystem {
@@ -145,6 +166,10 @@ impl ParallelFileSystem {
             transfers: Vec::new(),
             bytes_written: 0,
             bytes_read: 0,
+            oss_scale: 1.0,
+            mds_surcharge: SimDuration::ZERO,
+            reserved: 0,
+            armed_failures: 0,
         }
     }
 
@@ -163,9 +188,91 @@ impl ParallelFileSystem {
         self.used
     }
 
-    /// Bytes still free.
+    /// Bytes still free (net of any reserved full-disk-pressure capacity).
     pub fn free_bytes(&self) -> u64 {
-        self.config.capacity_bytes - self.used
+        (self.config.capacity_bytes - self.used).saturating_sub(self.reserved)
+    }
+
+    // ------------------------------------------------------------------
+    // Fault-injection hooks (driven by `ivis-fault`). All of them default
+    // to the nominal, no-fault behavior and leave every other code path
+    // untouched, so a filesystem with no hooks engaged is bit-identical
+    // to one that never heard of faults.
+    // ------------------------------------------------------------------
+
+    /// Derate (or restore) every OSS to `scale ×` its configured bandwidth
+    /// at time `now` — an OSS bandwidth *brownout*. Exact under processor
+    /// sharing: work served before `now` is unaffected, everything still
+    /// queued drains at the new rate. `scale = 1.0` restores nominal.
+    ///
+    /// # Panics
+    /// Panics if `scale` is not finite and positive.
+    pub fn set_oss_bandwidth_scale(&mut self, now: SimTime, scale: f64) {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "bandwidth scale must be positive, got {scale}"
+        );
+        if scale == self.oss_scale {
+            return;
+        }
+        for oss in &mut self.oss {
+            oss.set_capacity(now, self.config.oss_bandwidth_bps * scale);
+        }
+        self.oss_scale = scale;
+    }
+
+    /// The OSS bandwidth derating currently in force (1.0 = nominal).
+    pub fn oss_bandwidth_scale(&self) -> f64 {
+        self.oss_scale
+    }
+
+    /// Add `surcharge` to the service time of every subsequent metadata
+    /// operation — an MDS stall. [`SimDuration::ZERO`] restores nominal.
+    pub fn set_mds_surcharge(&mut self, surcharge: SimDuration) {
+        self.mds_surcharge = surcharge;
+    }
+
+    /// The extra metadata latency currently in force.
+    pub fn mds_surcharge(&self) -> SimDuration {
+        self.mds_surcharge
+    }
+
+    /// Withhold `bytes` of capacity from [`free_bytes`](Self::free_bytes)
+    /// — full-disk pressure (e.g. a neighboring tenant filling the rack).
+    /// Writes that no longer fit fail with [`PfsError::NoSpace`]; existing
+    /// files are untouched. Zero restores nominal.
+    pub fn set_reserved_bytes(&mut self, bytes: u64) {
+        self.reserved = bytes;
+    }
+
+    /// Capacity currently withheld by full-disk pressure.
+    pub fn reserved_bytes(&self) -> u64 {
+        self.reserved
+    }
+
+    /// Arm the next `n` data operations (`write`, `read`, or one whole
+    /// `batch_write`) to fail with [`PfsError::Io`] *before* mutating any
+    /// state — the failed operation consumes no capacity, creates no file
+    /// and queues no transfer, so retrying it is always safe.
+    pub fn arm_transient_failures(&mut self, n: u32) {
+        self.armed_failures += n;
+    }
+
+    /// Injected failures still pending.
+    pub fn armed_failures(&self) -> u32 {
+        self.armed_failures
+    }
+
+    /// Consume one armed failure, if any: the entry gate of every data op.
+    fn take_armed(&mut self, op: &'static str, path: &str) -> Result<(), PfsError> {
+        if self.armed_failures > 0 {
+            self.armed_failures -= 1;
+            return Err(PfsError::Io {
+                op,
+                path: path.to_string(),
+            });
+        }
+        Ok(())
     }
 
     /// Total bytes ever written / read (traffic counters).
@@ -208,7 +315,8 @@ impl ParallelFileSystem {
             return Err(PfsError::AlreadyExists(path.to_string()));
         }
         let mds = self.mds_for(path);
-        let (_, done) = self.mds[mds].submit(now, self.config.mds_op_time);
+        let service = self.config.mds_op_time + self.mds_surcharge;
+        let (_, done) = self.mds[mds].submit(now, service);
         self.files.insert(
             path.to_string(),
             FileMeta {
@@ -222,6 +330,7 @@ impl ParallelFileSystem {
     /// Append `bytes` to `path` (creating it if absent), returning the time
     /// the data is durable on the OSTs.
     pub fn write(&mut self, now: SimTime, path: &str, bytes: u64) -> Result<SimTime, PfsError> {
+        self.take_armed("write", path)?;
         let free = self.free_bytes();
         if bytes > free {
             return Err(PfsError::NoSpace {
@@ -260,6 +369,7 @@ impl ParallelFileSystem {
 
     /// Read the whole of `path`, returning the completion time.
     pub fn read(&mut self, now: SimTime, path: &str) -> Result<SimTime, PfsError> {
+        self.take_armed("read", path)?;
         let size = self.size_of(path)?;
         self.bytes_read += size;
         if size == 0 {
@@ -284,11 +394,19 @@ impl ParallelFileSystem {
     /// Submit many writes at once and return the barrier completion time
     /// (when *all* of them are durable). This is how the PIO-style
     /// collective output path uses the rack.
+    ///
+    /// The batch is atomic with respect to failure: total capacity is
+    /// validated up front and one armed transient failure fails the whole
+    /// batch at its entry gate, so an `Err` never leaves a prefix of the
+    /// batch applied — the executors rely on this to retry batches safely
+    /// instead of assuming success.
     pub fn batch_write(
         &mut self,
         now: SimTime,
         writes: &[(String, u64)],
     ) -> Result<SimTime, PfsError> {
+        let first = writes.first().map(|w| w.0.as_str()).unwrap_or("");
+        self.take_armed("batch_write", first)?;
         let total: u64 = writes.iter().map(|w| w.1).sum();
         let free = self.free_bytes();
         if total > free {
@@ -546,6 +664,111 @@ mod tests {
         let d1 = fs.write(SimTime::ZERO, "/a", 1000).unwrap();
         let d2 = fs.write(SimTime::ZERO, "/b", 1000).unwrap();
         assert_eq!(d1.max(d2), t(20));
+    }
+
+    #[test]
+    fn oss_brownout_slows_inflight_and_new_writes() {
+        let mut fs = ParallelFileSystem::new(test_config());
+        // 1000 B at 100 B/s aggregate would finish at t=10; halving the
+        // bandwidth at t=4 leaves 600 B at 50 B/s => done at t=16.
+        fs.write(SimTime::ZERO, "/a", 1000).unwrap();
+        fs.set_oss_bandwidth_scale(t(4), 0.5);
+        assert!((fs.queued_write_seconds(t(4)) - 12.0).abs() < 1e-9);
+        // A later write queues behind the derated drain.
+        let done = fs.write(t(16), "/b", 500).unwrap();
+        assert_eq!(done, t(26)); // 500 B at 50 B/s
+                                 // Restoring the scale recovers nominal service.
+        fs.set_oss_bandwidth_scale(t(26), 1.0);
+        let done = fs.write(t(26), "/c", 1000).unwrap();
+        assert_eq!(done, t(36));
+        assert_eq!(fs.oss_bandwidth_scale(), 1.0);
+    }
+
+    #[test]
+    fn mds_stall_surcharges_metadata_ops() {
+        let mut fs = ParallelFileSystem::new(test_config());
+        fs.set_mds_surcharge(SimDuration::from_secs(3));
+        // Data time is 10 s; the create now costs 3 s up front.
+        let done = fs.write(SimTime::ZERO, "/a", 1000).unwrap();
+        assert_eq!(done, t(13));
+        fs.set_mds_surcharge(SimDuration::ZERO);
+        // Appends skip the create; no surcharge applies.
+        let done = fs.write(done, "/a", 1000).unwrap();
+        assert_eq!(done, t(23));
+    }
+
+    #[test]
+    fn disk_pressure_reserves_capacity() {
+        let mut fs = ParallelFileSystem::new(test_config());
+        fs.set_reserved_bytes(9_500);
+        assert_eq!(fs.free_bytes(), 500);
+        let err = fs.write(SimTime::ZERO, "/a", 1_000).unwrap_err();
+        assert_eq!(
+            err,
+            PfsError::NoSpace {
+                needed: 1_000,
+                free: 500
+            }
+        );
+        fs.set_reserved_bytes(0);
+        fs.write(SimTime::ZERO, "/a", 1_000).unwrap();
+        assert_eq!(fs.used_bytes(), 1_000);
+    }
+
+    #[test]
+    fn armed_failure_fails_cleanly_then_clears() {
+        let mut fs = ParallelFileSystem::new(test_config());
+        fs.arm_transient_failures(1);
+        let err = fs.write(SimTime::ZERO, "/a", 1000).unwrap_err();
+        assert_eq!(
+            err,
+            PfsError::Io {
+                op: "write",
+                path: "/a".to_string()
+            }
+        );
+        // Nothing happened: no file, no space, no transfer queued.
+        assert!(!fs.exists("/a"));
+        assert_eq!(fs.used_bytes(), 0);
+        assert_eq!(fs.transfer_count(), 0);
+        assert_eq!(fs.armed_failures(), 0);
+        // The retry succeeds at full speed.
+        let done = fs.write(SimTime::ZERO, "/a", 1000).unwrap();
+        assert_eq!(done, t(10));
+    }
+
+    #[test]
+    fn armed_failure_fails_whole_batch_atomically() {
+        let mut fs = ParallelFileSystem::new(test_config());
+        fs.arm_transient_failures(1);
+        let writes = vec![("/r0".to_string(), 500), ("/r1".to_string(), 500)];
+        let err = fs.batch_write(SimTime::ZERO, &writes).unwrap_err();
+        assert!(matches!(
+            err,
+            PfsError::Io {
+                op: "batch_write",
+                ..
+            }
+        ));
+        assert_eq!(fs.num_files(), 0, "failed batch must apply nothing");
+        assert_eq!(fs.used_bytes(), 0);
+        // One armed failure fails exactly one batch.
+        let done = fs.batch_write(SimTime::ZERO, &writes).unwrap();
+        assert_eq!(done, t(10));
+    }
+
+    #[test]
+    fn armed_failure_fails_reads_too() {
+        let mut fs = ParallelFileSystem::new(test_config());
+        fs.write(SimTime::ZERO, "/a", 1000).unwrap();
+        fs.arm_transient_failures(1);
+        assert!(matches!(
+            fs.read(t(10), "/a"),
+            Err(PfsError::Io { op: "read", .. })
+        ));
+        assert_eq!(fs.traffic(), (1000, 0), "failed read moves no bytes");
+        fs.read(t(10), "/a").unwrap();
+        assert_eq!(fs.traffic(), (1000, 1000));
     }
 
     #[test]

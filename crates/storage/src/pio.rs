@@ -210,6 +210,46 @@ mod tests {
     }
 
     #[test]
+    fn armed_failure_propagates_and_collective_retry_succeeds() {
+        let mut fs = fast_gather_fs();
+        let writer = CollectiveWriter::new(PioConfig {
+            num_aggregators: 2,
+            aggregator_bandwidth_bps: 100.0,
+        });
+        fs.arm_transient_failures(1);
+        let err = writer
+            .write(&mut fs, SimTime::ZERO, "/out", &[100, 100, 100, 100])
+            .unwrap_err();
+        assert!(matches!(err, PfsError::Io { .. }));
+        // The failed collective mutated nothing: no file, no space, no
+        // queued transfer — so the retry lands exactly like a fresh write.
+        assert!(fs.size_of("/out").is_err());
+        assert_eq!(fs.used_bytes(), 0);
+        let report = writer
+            .write(&mut fs, SimTime::ZERO, "/out", &[100, 100, 100, 100])
+            .unwrap();
+        assert_eq!(report.write_done, SimTime::from_secs(6));
+        assert_eq!(fs.size_of("/out").unwrap(), 400);
+    }
+
+    #[test]
+    fn brownout_slows_the_collective_write_stage() {
+        let mut fs = fast_gather_fs();
+        let writer = CollectiveWriter::new(PioConfig {
+            num_aggregators: 2,
+            aggregator_bandwidth_bps: 100.0,
+        });
+        // Halve OSS bandwidth: the gather is network-bound and unaffected,
+        // the filesystem stage doubles (4 s → 8 s).
+        fs.set_oss_bandwidth_scale(SimTime::ZERO, 0.5);
+        let report = writer
+            .write(&mut fs, SimTime::ZERO, "/out", &[100, 100, 100, 100])
+            .unwrap();
+        assert_eq!(report.gather_done, SimTime::from_secs(2));
+        assert_eq!(report.write_done, SimTime::from_secs(10));
+    }
+
+    #[test]
     #[should_panic(expected = "at least one aggregator")]
     fn zero_aggregators_rejected() {
         let _ = CollectiveWriter::new(PioConfig {

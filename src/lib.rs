@@ -10,6 +10,7 @@
 pub use ivis_cluster as cluster;
 pub use ivis_core as pipeline;
 pub use ivis_eddy as eddy;
+pub use ivis_fault as fault;
 pub use ivis_model as model;
 pub use ivis_ocean as ocean;
 pub use ivis_power as power;
