@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! experiments [all|fig2|fig3|fig4|fig5|fig6|fig7|eq5|fig8|fig9|fig10|
-//!              proportionality|ablations|native|table1]
+//!              proportionality|ablations|extensions|csv [dir]|intransit|
+//!              fault|native|trace [insitu|post] [hours]|table1]
 //! ```
 //!
 //! Each subcommand prints the measured values next to the paper's published
@@ -152,6 +153,40 @@ fn extensions() {
     }
 }
 
+fn intransit() {
+    use ivis_core::campaign::Campaign;
+    use ivis_model::StagingSweep;
+
+    banner("In-transit transport — staging × depth × compression sweep (@8 h)");
+    let sweep = StagingSweep::run(Campaign::paper, 8.0, &[10, 25, 50], &[1, 4], &[1.0, 4.0]);
+    println!(
+        "  staging | depth | ratio | measured (s) | predicted (s) | err (%) | stall (s) | wire (GB)"
+    );
+    for p in &sweep.points {
+        println!(
+            "  {:>7} | {:>5} | {:>5.1} | {:>12.1} | {:>13.1} | {:>7.2} | {:>9.1} | {:>9.2}",
+            p.staging_nodes,
+            p.depth,
+            p.compression_ratio,
+            p.measured_seconds,
+            p.predicted_seconds,
+            p.rel_error() * 100.0,
+            p.stall_seconds,
+            p.wire_bytes as f64 / 1e9
+        );
+    }
+    let best = sweep.best();
+    println!(
+        "  best: {} staging nodes, depth {}, ratio {:.1} → {:.1} s  \
+         (max Eq. 4/6/7 model error {:.1} %)",
+        best.staging_nodes,
+        best.depth,
+        best.compression_ratio,
+        best.measured_seconds,
+        sweep.max_rel_error() * 100.0
+    );
+}
+
 fn fault() {
     banner("What-if — energy vs sampling rate under a 50% OSS brownout");
     for kind in [
@@ -266,6 +301,7 @@ fn main() {
                 println!("  {f}");
             }
         }
+        "intransit" => intransit(),
         "fault" => fault(),
         "native" => native(),
         "trace" => trace(&args[1..]),
@@ -285,13 +321,14 @@ fn main() {
             proportionality();
             ablations();
             extensions();
+            intransit();
             fault();
             native();
         }
         other => {
             eprintln!("unknown experiment: {other}");
             eprintln!(
-                "usage: experiments [all|fig2..fig10|eq5|proportionality|ablations|extensions|csv [dir]|fault|native|trace [insitu|post] [hours]|table1]"
+                "usage: experiments [all|fig2..fig10|eq5|proportionality|ablations|extensions|csv [dir]|intransit|fault|native|trace [insitu|post] [hours]|table1]"
             );
             std::process::exit(2);
         }

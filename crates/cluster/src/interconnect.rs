@@ -3,8 +3,11 @@
 //! A latency–bandwidth (Hockney) model plus standard collective cost
 //! formulas. Used by the ocean proxy's cost model to account for halo
 //! exchanges and by the storage client for data shipping to the I/O nodes.
+//! [`SharedLink`] layers FIFO queueing on top for paths where multiple
+//! in-flight transfers contend for the same aggregate bandwidth (the
+//! compute→staging hand-off of the in-transit pipeline).
 
-use ivis_sim::SimDuration;
+use ivis_sim::{SimDuration, SimTime};
 
 /// Hockney-model interconnect: `T(n) = latency + n / bandwidth`.
 #[derive(Debug, Clone)]
@@ -58,6 +61,116 @@ impl Interconnect {
     }
 }
 
+/// One completed (scheduled) transfer over a [`SharedLink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkTransfer {
+    /// When the link actually started serving the transfer (submission
+    /// time, or later if the link was busy).
+    pub start: SimTime,
+    /// When the last byte arrived.
+    pub done: SimTime,
+}
+
+impl LinkTransfer {
+    /// Time the transfer spent queued behind earlier traffic.
+    pub fn queued(&self, submitted: SimTime) -> SimDuration {
+        self.start.duration_since(submitted)
+    }
+}
+
+/// A single shared link with FIFO service: the staging partition's
+/// aggregate ingest path, over which concurrent hand-offs contend.
+///
+/// The Hockney model prices one transfer in isolation; when a depth-`k`
+/// transport ships several samples concurrently they serialize here —
+/// a transfer submitted while the link is busy starts only when the
+/// previous one finishes, which is exactly the store-and-forward
+/// contention SIM-SITU observes on real staging deployments. With at
+/// most one transfer ever in flight the link is transparent: `transfer`
+/// returns the same completion time [`Interconnect::ptp_time`] would.
+///
+/// Bandwidth can be derated (interconnect brownouts) via
+/// [`set_bandwidth_scale`](Self::set_bandwidth_scale); at the default
+/// scale of 1.0 service times are bit-identical to the unscaled model.
+#[derive(Debug, Clone)]
+pub struct SharedLink {
+    net: Interconnect,
+    scale: f64,
+    free_at: SimTime,
+    transfers: u64,
+    busy: SimDuration,
+    queued: SimDuration,
+}
+
+impl SharedLink {
+    /// An idle link over `net` at nominal bandwidth.
+    pub fn new(net: Interconnect) -> Self {
+        SharedLink {
+            net,
+            scale: 1.0,
+            free_at: SimTime::ZERO,
+            transfers: 0,
+            busy: SimDuration::ZERO,
+            queued: SimDuration::ZERO,
+        }
+    }
+
+    /// Derate (or restore) the link bandwidth: `scale` is the fraction of
+    /// nominal bandwidth that survives.
+    ///
+    /// # Panics
+    /// Panics unless `scale` is in `(0, 1]`.
+    pub fn set_bandwidth_scale(&mut self, scale: f64) {
+        assert!(
+            scale.is_finite() && scale > 0.0 && scale <= 1.0,
+            "link bandwidth scale must be in (0, 1], got {scale}"
+        );
+        self.scale = scale;
+    }
+
+    /// Current bandwidth derating (1.0 = nominal).
+    pub fn bandwidth_scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Schedule a transfer of `bytes` submitted at `submit`.
+    ///
+    /// FIFO: the transfer starts at `max(submit, free_at)` and holds the
+    /// link for one latency plus the serialization time at the current
+    /// (possibly derated) bandwidth.
+    pub fn transfer(&mut self, submit: SimTime, bytes: u64) -> LinkTransfer {
+        let start = self.free_at.max(submit);
+        let service = self.net.latency
+            + SimDuration::from_secs_f64(bytes as f64 / (self.net.bandwidth_bps * self.scale));
+        let done = start + service;
+        self.free_at = done;
+        self.transfers += 1;
+        self.busy += service;
+        self.queued += start.duration_since(submit);
+        LinkTransfer { start, done }
+    }
+
+    /// Earliest instant a new transfer could start.
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// Transfers served so far.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Total link-busy time across every transfer served.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Total time transfers spent queued behind earlier traffic.
+    pub fn queued_time(&self) -> SimDuration {
+        self.queued
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,5 +219,51 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn allreduce_zero_ranks_rejected() {
         let _ = Interconnect::ib_qdr().allreduce_time(1, 0);
+    }
+
+    #[test]
+    fn idle_shared_link_matches_ptp() {
+        let net = Interconnect::ib_qdr();
+        let mut link = SharedLink::new(net.clone());
+        let t = link.transfer(SimTime::from_secs(3), 1 << 30);
+        assert_eq!(t.start, SimTime::from_secs(3));
+        assert_eq!(t.done, SimTime::from_secs(3) + net.ptp_time(1 << 30));
+        assert_eq!(t.queued(SimTime::from_secs(3)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn concurrent_transfers_serialize_fifo() {
+        let net = Interconnect::ib_qdr();
+        let mut link = SharedLink::new(net.clone());
+        let submit_b = SimTime::from_micros(1_000);
+        let a = link.transfer(SimTime::ZERO, 1 << 30);
+        // Submitted while the link is still busy: waits for `a`.
+        let b = link.transfer(submit_b, 1 << 30);
+        assert_eq!(b.start, a.done);
+        assert_eq!(b.done, a.done + net.ptp_time(1 << 30));
+        assert!(b.queued(submit_b) > SimDuration::ZERO);
+        assert_eq!(link.transfers(), 2);
+        assert_eq!(link.queued_time(), b.queued(submit_b));
+    }
+
+    #[test]
+    fn derated_link_is_slower_and_restores() {
+        let mut link = SharedLink::new(Interconnect::ib_qdr());
+        let nominal = link.transfer(SimTime::ZERO, 1 << 30);
+        link.set_bandwidth_scale(0.5);
+        let slow = link.transfer(nominal.done, 1 << 30);
+        assert!(
+            (slow.done - slow.start).as_secs_f64()
+                > 1.9 * (nominal.done - nominal.start).as_secs_f64()
+        );
+        link.set_bandwidth_scale(1.0);
+        let back = link.transfer(slow.done, 1 << 30);
+        assert_eq!(back.done - back.start, nominal.done - nominal.start);
+    }
+
+    #[test]
+    #[should_panic(expected = "link bandwidth scale")]
+    fn zero_scale_rejected() {
+        SharedLink::new(Interconnect::ib_qdr()).set_bandwidth_scale(0.0);
     }
 }

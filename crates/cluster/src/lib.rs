@@ -24,6 +24,7 @@ pub mod phase;
 pub mod straggler;
 pub mod topology;
 
+pub use interconnect::{Interconnect, LinkTransfer, SharedLink};
 pub use machine::Machine;
 pub use phase::{IoWaitPolicy, JobPhase, PhaseRecord, PhaseTimeline};
 pub use straggler::StragglerSet;

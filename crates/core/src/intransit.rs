@@ -4,9 +4,15 @@
 //! move analysis off the compute partition onto **staging nodes**: after
 //! each sample the field is shipped over the interconnect to the staging
 //! partition, which renders while the simulation proceeds. This trades
-//! compute nodes for overlap — with too few staging nodes the renderer
-//! cannot keep up and the simulation stalls on the hand-off (no buffering
-//! beyond one in-flight sample here, matching synchronous staging).
+//! compute nodes for overlap.
+//!
+//! The hand-off itself is modeled by the staged transport in
+//! [`transport`](crate::transport): a bounded depth-`k` in-flight queue
+//! with optional wire compression and link contention. The default
+//! [`TransportConfig::synchronous`] (depth 1, no compression) reproduces
+//! the original synchronous executor — kept here verbatim as
+//! [`Campaign::try_run_intransit_reference`] — bit-identically; golden
+//! tests pin that equivalence.
 //!
 //! This module extends the measurement campaign with
 //! [`Campaign::run_intransit`], producing the same [`PipelineMetrics`]
@@ -14,6 +20,7 @@
 
 use ivis_cluster::interconnect::Interconnect;
 use ivis_cluster::JobPhase;
+use ivis_fault::{FaultScenario, FaultSession};
 use ivis_ocean::cost::SimulationCostModel;
 use ivis_sim::{SimDuration, SimRng, SimTime};
 use ivis_storage::ParallelFileSystem;
@@ -22,6 +29,7 @@ use crate::campaign::Campaign;
 use crate::config::{PipelineConfig, PipelineKind};
 use crate::metrics::PipelineMetrics;
 use crate::resilience::PipelineError;
+use crate::transport::{per_node_payload, TransportConfig, TransportStats};
 
 /// In-transit specific knobs.
 #[derive(Debug, Clone)]
@@ -30,14 +38,19 @@ pub struct InTransitConfig {
     pub staging_nodes: usize,
     /// Interconnect used for the compute→staging hand-off.
     pub interconnect: Interconnect,
+    /// How the hand-off is staged (queue depth, compression). The default
+    /// synchronous transport reproduces the original executor.
+    pub transport: TransportConfig,
 }
 
 impl InTransitConfig {
-    /// A typical allocation: 10 of the 150 nodes stage, over IB QDR.
+    /// A typical allocation: 10 of the 150 nodes stage, over IB QDR, with
+    /// the synchronous single-in-flight hand-off.
     pub fn caddy_default() -> Self {
         InTransitConfig {
             staging_nodes: 10,
             interconnect: Interconnect::ib_qdr(),
+            transport: TransportConfig::synchronous(),
         }
     }
 }
@@ -56,6 +69,50 @@ impl Campaign {
     /// [`run_intransit`](Self::run_intransit) with storage failures
     /// returned as typed errors.
     pub fn try_run_intransit(
+        &self,
+        pc: &PipelineConfig,
+        it: &InTransitConfig,
+    ) -> Result<PipelineMetrics, PipelineError> {
+        self.try_run_intransit_with_stats(pc, it).map(|(m, _)| m)
+    }
+
+    /// [`run_intransit`](Self::run_intransit), also returning the
+    /// transport's accounting ([`TransportStats`]): queue high-water mark,
+    /// stall time, link contention and codec cost.
+    pub fn run_intransit_with_stats(
+        &self,
+        pc: &PipelineConfig,
+        it: &InTransitConfig,
+    ) -> (PipelineMetrics, TransportStats) {
+        self.try_run_intransit_with_stats(pc, it)
+            .unwrap_or_else(|e| panic!("pipeline run failed: {e}"))
+    }
+
+    /// Fallible [`run_intransit_with_stats`](Self::run_intransit_with_stats).
+    pub fn try_run_intransit_with_stats(
+        &self,
+        pc: &PipelineConfig,
+        it: &InTransitConfig,
+    ) -> Result<(PipelineMetrics, TransportStats), PipelineError> {
+        // The staged executor is shared with the fault-aware path; a
+        // no-fault session keeps every hook at its nominal value, so the
+        // clean run stays bit-identical by construction.
+        let scenario = FaultScenario::none();
+        let mut session = FaultSession::new(&scenario);
+        self.intransit_staged(pc, it, &mut session)
+    }
+
+    /// The original synchronous in-transit executor, kept verbatim as the
+    /// golden reference: exactly one sample in flight, the compute
+    /// partition blocked through the whole hand-off, no instrumentation.
+    ///
+    /// [`try_run_intransit`](Self::try_run_intransit) with
+    /// [`TransportConfig::synchronous`] must reproduce this bit-identically
+    /// (metrics, machine timeline, storage schedule) — the
+    /// `intransit_transport` integration tests pin that equivalence at
+    /// several thread counts. The per-node payload uses the same
+    /// [`per_node_payload`] ceiling division as the staged transport.
+    pub fn try_run_intransit_reference(
         &self,
         pc: &PipelineConfig,
         it: &InTransitConfig,
@@ -82,9 +139,10 @@ impl Campaign {
         // Rendering on the staging partition: β scales with partition size.
         let staging_viz_secs =
             self.config.viz_seconds_per_output * total_nodes as f64 / staging as f64;
-        // Hand-off: the raw field fans out over the staging nodes' links.
+        // Hand-off: the raw field fans out over the staging nodes' links;
+        // the slowest link carries the rounded-up remainder.
         let transfer = {
-            let per_node = spec.raw_output_bytes() / staging as u64;
+            let per_node = per_node_payload(spec.raw_output_bytes(), staging as u64);
             it.interconnect.ptp_time(per_node)
         };
 
@@ -162,7 +220,7 @@ mod tests {
             &pc,
             &InTransitConfig {
                 staging_nodes: staging,
-                interconnect: Interconnect::ib_qdr(),
+                ..InTransitConfig::caddy_default()
             },
         )
     }

@@ -36,9 +36,11 @@ pub mod intransit;
 pub mod metrics;
 pub mod native;
 pub mod resilience;
+pub mod transport;
 
 pub use adaptor::{CatalystAdaptor, VizSnapshot};
 pub use campaign::{Campaign, CampaignConfig};
 pub use config::{PipelineConfig, PipelineKind};
 pub use metrics::PipelineMetrics;
 pub use resilience::{FaultedRun, PipelineError};
+pub use transport::{per_node_payload, CompressionConfig, TransportConfig, TransportStats};

@@ -156,7 +156,7 @@ impl FaultedRun {
 }
 
 /// How one resilient write ended (when it didn't error out).
-enum WriteOutcome {
+pub(crate) enum WriteOutcome {
     /// Durable at the carried completion time.
     Written(SimTime),
     /// Shed under disk pressure; the clock did not advance past `at`.
@@ -164,15 +164,15 @@ enum WriteOutcome {
 }
 
 /// One storage write request as the resilient path sees it.
-struct WriteOp<'a> {
-    path: &'a str,
-    bytes: u64,
+pub(crate) struct WriteOp<'a> {
+    pub(crate) path: &'a str,
+    pub(crate) bytes: u64,
     /// Output index, for events.
-    index: u64,
+    pub(crate) index: u64,
     /// Whether this write is one of the run's per-sample outputs (counted
     /// in `outputs_written` / `space_sheds`); the post-processing image
     /// tarball, for instance, is not.
-    counts: bool,
+    pub(crate) counts: bool,
 }
 
 /// Record a degradation-level transition if one happened.
@@ -201,7 +201,12 @@ fn note_fault_state(rec: &Recorder, t: SimTime, s: ivis_fault::StorageState) {
 }
 
 /// Record a degradation shed of output `index` and count it.
-fn note_degraded_shed(rec: &Recorder, session: &mut FaultSession, t: SimTime, index: u64) {
+pub(crate) fn note_degraded_shed(
+    rec: &Recorder,
+    session: &mut FaultSession,
+    t: SimTime,
+    index: u64,
+) {
     session.stats.outputs_shed += 1;
     rec.event(
         t,
@@ -224,7 +229,7 @@ fn note_degraded_shed(rec: &Recorder, session: &mut FaultSession, t: SimTime, in
 /// the policy's budget; `NoSpace` under an active disk-pressure fault
 /// sheds the output gracefully; anything else is a terminal
 /// [`PipelineError`].
-fn resilient_write(
+pub(crate) fn resilient_write(
     rec: &Recorder,
     session: &mut FaultSession,
     pfs: &mut ParallelFileSystem,
@@ -506,100 +511,17 @@ impl Campaign {
         Ok(self.harvest(pc, machine, &pfs, now, written))
     }
 
-    /// Fault-aware mirror of the clean in-transit executor.
+    /// Fault-aware mirror of the clean in-transit executor: the staged
+    /// transport ([`crate::transport`]) runs with the live session, so
+    /// degradation sheds, retry backoff, compute stragglers and
+    /// `LinkBrownout` derating all compose with the depth-`k` queue.
     fn intransit_faulted_inner(
         &self,
         pc: &PipelineConfig,
         it: &InTransitConfig,
         session: &mut FaultSession,
     ) -> Result<PipelineMetrics, PipelineError> {
-        let mut rng = SimRng::new(self.config.seed ^ 0x17A7);
-        let mut machine = self.machine();
-        let mut pfs = ParallelFileSystem::caddy_lustre();
-        let rec = &self.config.recorder;
-        let spec = &pc.spec;
-        let n_out = spec.num_outputs(pc.rate);
-        let spp = spec.steps_per_output(pc.rate);
-        let total_nodes = machine.topology().num_nodes();
-        assert!(
-            it.staging_nodes > 0 && it.staging_nodes < total_nodes,
-            "staging partition must be a proper subset of the machine"
-        );
-        let staging = it.staging_nodes;
-        let cores_per_node = machine.topology().cores_per_node();
-        let mut cost = self.cost.clone();
-        cost.cores = ((total_nodes - staging) * cores_per_node) as u64;
-        let step_secs = cost.step_seconds(spec);
-        let staging_viz_secs =
-            self.config.viz_seconds_per_output * total_nodes as f64 / staging as f64;
-        let transfer = {
-            let per_node = spec.raw_output_bytes() / staging as u64;
-            it.interconnect.ptp_time(per_node)
-        };
-
-        let mut now = SimTime::ZERO;
-        let mut staging_free = SimTime::ZERO;
-        let mut written = 0u64;
-        for k in 0..n_out {
-            let slow = session.compute_slowdown(now);
-            let chunk =
-                SimDuration::from_secs_f64(step_secs * spp as f64 * self.noise(&mut rng) * slow);
-            if staging_free > now {
-                machine.begin_split_phase(now, staging, JobPhase::Simulate, JobPhase::Visualize);
-                if staging_free < now + chunk {
-                    machine.begin_split_phase(
-                        staging_free,
-                        staging,
-                        JobPhase::Simulate,
-                        JobPhase::Idle,
-                    );
-                }
-            } else {
-                machine.begin_split_phase(now, staging, JobPhase::Simulate, JobPhase::Idle);
-            }
-            now += chunk;
-            if session.should_shed(k) {
-                // Degraded: no hand-off, no render, no image for this sample.
-                note_degraded_shed(rec, session, now, k);
-                continue;
-            }
-            if staging_free > now {
-                machine.begin_split_phase(now, staging, JobPhase::WriteOutput, JobPhase::Visualize);
-                now = staging_free;
-            }
-            machine.begin_split_phase(now, staging, JobPhase::WriteOutput, JobPhase::WriteOutput);
-            now += transfer;
-            let render = SimDuration::from_secs_f64(staging_viz_secs * self.noise(&mut rng));
-            let render_done = now + render;
-            let path = format!("/intransit/cinema/ts_{k:06}.png");
-            let op = WriteOp {
-                path: &path,
-                bytes: self.config.image_bytes_per_output,
-                index: k,
-                counts: true,
-            };
-            match resilient_write(rec, session, &mut pfs, render_done, &op)? {
-                WriteOutcome::Written(done) => {
-                    staging_free = done;
-                    written += 1;
-                }
-                WriteOutcome::SpaceShed(at) => staging_free = at,
-            }
-        }
-        let trailing = spec.total_steps().saturating_sub(n_out * spp);
-        if trailing > 0 {
-            machine.begin_split_phase(now, staging, JobPhase::Simulate, JobPhase::Idle);
-            let slow = session.compute_slowdown(now);
-            now += SimDuration::from_secs_f64(
-                step_secs * trailing as f64 * self.noise(&mut rng) * slow,
-            );
-        }
-        if staging_free > now {
-            machine.begin_split_phase(now, staging, JobPhase::Idle, JobPhase::Visualize);
-            now = staging_free;
-        }
-        machine.finish(now);
-        Ok(self.harvest(pc, machine, &pfs, now, written))
+        self.intransit_staged(pc, it, session).map(|(m, _)| m)
     }
 }
 

@@ -71,6 +71,13 @@ pub enum FaultKind {
         /// Slowdown factor (≥ 1).
         slowdown: f64,
     },
+    /// The compute→staging interconnect is derated to `scale ×` nominal
+    /// bandwidth (congestion from a neighboring job, a failed link in a
+    /// bonded pair). Only the in-transit hand-off path consults it.
+    LinkBrownout {
+        /// Fraction of nominal link bandwidth that survives.
+        scale: f64,
+    },
 }
 
 /// One fault with its activity window.
@@ -124,6 +131,12 @@ impl FaultPlan {
                 assert!(
                     scale.is_finite() && scale > 0.0 && scale <= 1.0,
                     "brownout scale must be in (0, 1], got {scale}"
+                );
+            }
+            FaultKind::LinkBrownout { scale } => {
+                assert!(
+                    scale.is_finite() && scale > 0.0 && scale <= 1.0,
+                    "link brownout scale must be in (0, 1], got {scale}"
                 );
             }
             FaultKind::TransientIo { fail_prob } => {

@@ -133,10 +133,24 @@ impl FaultSession {
                 FaultKind::TransientIo { fail_prob } => {
                     s.io_fail_prob = s.io_fail_prob.max(fail_prob)
                 }
-                FaultKind::ComputeStraggler { .. } => {}
+                FaultKind::ComputeStraggler { .. } | FaultKind::LinkBrownout { .. } => {}
             }
         }
         s
+    }
+
+    /// The compute→staging link derating at `now`: the deepest active
+    /// [`FaultKind::LinkBrownout`] wins; 1.0 when none is active. Pure —
+    /// no RNG, no state — so consulting it on every hand-off preserves the
+    /// empty-plan bit-identity contract.
+    pub fn link_scale(&self, now: SimTime) -> f64 {
+        let mut scale = 1.0f64;
+        for f in self.plan.active_at(now) {
+            if let FaultKind::LinkBrownout { scale: s } = f.kind {
+                scale = scale.min(s);
+            }
+        }
+        scale
     }
 
     /// Apply the storage state at `now` to `pfs`, touching the hooks only
@@ -263,6 +277,34 @@ mod tests {
                     surcharge: SimDuration::from_millis(5),
                 },
             )
+    }
+
+    #[test]
+    fn link_scale_folds_worst_active_and_ignores_storage() {
+        let plan = FaultPlan::new(9)
+            .inject(
+                FaultWindow::of_secs(10, 20),
+                FaultKind::LinkBrownout { scale: 0.5 },
+            )
+            .inject(
+                FaultWindow::of_secs(15, 25),
+                FaultKind::LinkBrownout { scale: 0.2 },
+            )
+            .inject(
+                FaultWindow::of_secs(0, 100),
+                FaultKind::OssBrownout { scale: 0.1 },
+            );
+        let s = FaultSession::new(&FaultScenario::with_plan(plan));
+        assert_eq!(s.link_scale(SimTime::from_secs(5)), 1.0);
+        assert_eq!(s.link_scale(SimTime::from_secs(12)), 0.5);
+        assert_eq!(s.link_scale(SimTime::from_secs(17)), 0.2, "deepest wins");
+        assert_eq!(s.link_scale(SimTime::from_secs(30)), 1.0);
+        // Link brownouts never leak into the storage hooks.
+        assert_eq!(
+            s.storage_state(SimTime::from_secs(12)).oss_scale,
+            0.1,
+            "storage state sees only the OSS brownout"
+        );
     }
 
     #[test]

@@ -22,6 +22,8 @@
 //! * [`perf`] — Eq. 1–4 as a [`perf::PerfModel`].
 //! * [`calibrate`] — exact and least-squares calibration from measured runs.
 //! * [`scaling`] — Eq. 6/7 rate scaling.
+//! * [`staging`] — the in-transit transport's provisioning sweep (staging
+//!   nodes × queue depth × compression ratio), measured and predicted.
 //! * [`validate`] — model-vs-measurement error reporting (Fig. 8).
 //! * [`whatif`] — the §VII scenario engine (Figs. 9 & 10, budget solvers).
 
@@ -30,6 +32,7 @@ pub mod linalg;
 pub mod perf;
 pub mod scaling;
 pub mod sensitivity;
+pub mod staging;
 pub mod tradeoff;
 pub mod uncertainty;
 pub mod validate;
@@ -37,4 +40,5 @@ pub mod whatif;
 
 pub use calibrate::{calibrate_exact, calibrate_least_squares};
 pub use perf::PerfModel;
+pub use staging::{predict_staged_seconds, StagingPoint, StagingSweep};
 pub use whatif::WhatIfAnalyzer;

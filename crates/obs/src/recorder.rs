@@ -35,6 +35,8 @@ pub enum Component {
     Native,
     /// Fault injection, retries, and degradation decisions.
     Fault,
+    /// The compute→staging transport (queue, link, compression).
+    Transport,
 }
 
 impl Component {
@@ -47,6 +49,7 @@ impl Component {
             Component::Viz => "viz",
             Component::Native => "native",
             Component::Fault => "fault",
+            Component::Transport => "transport",
         }
     }
 }

@@ -34,6 +34,7 @@ fn three_pipelines_rank_consistently() {
             &InTransitConfig {
                 staging_nodes: 75,
                 interconnect: Interconnect::ib_qdr(),
+                ..InTransitConfig::caddy_default()
             },
         )
         .execution_time
