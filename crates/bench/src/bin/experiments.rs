@@ -3,7 +3,8 @@
 //! ```text
 //! experiments [all|fig2|fig3|fig4|fig5|fig6|fig7|eq5|fig8|fig9|fig10|
 //!              proportionality|ablations|extensions|csv [dir]|intransit|
-//!              fault|native|trace [insitu|post] [hours]|table1]
+//!              fault|native|trace [insitu|post] [hours]|
+//!              power-trace [insitu|post] [hours]|table1]
 //! ```
 //!
 //! Each subcommand prints the measured values next to the paper's published
@@ -263,6 +264,63 @@ fn trace(args: &[String]) {
     println!("  busy-wait policy spends compute energy during I/O phases.");
 }
 
+fn power_trace(args: &[String]) {
+    use ivis_core::campaign::Campaign;
+    use ivis_core::PipelineKind;
+    use ivis_obs::telemetry::paper_cadence;
+
+    let kind = match args.first().map(String::as_str) {
+        Some("post") => PipelineKind::PostProcessing,
+        _ => PipelineKind::InSitu,
+    };
+    let hours: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8.0);
+    banner(&format!(
+        "Power trace — {} @ {hours} h, per-minute PDU view (paper cadence)",
+        kind.label()
+    ));
+    let campaign = Campaign::paper();
+    let m = campaign.run(&ivis_core::PipelineConfig::paper(kind, hours));
+    let tel = campaign.telemetry(&m, paper_cadence());
+    println!("  minute | compute kW | storage kW |   total kW");
+    let storage = tel.storage.rows();
+    for (i, (minute, cw)) in tel.compute.rows().iter().enumerate() {
+        let sw = storage.get(i).map_or(0.0, |&(_, w)| w);
+        println!(
+            "  {minute:>6.1} | {:>10.2} | {:>10.3} | {:>10.2}",
+            cw / 1e3,
+            sw / 1e3,
+            (cw + sw) / 1e3
+        );
+    }
+    for tl in [&tel.compute, &tel.storage] {
+        let s = tl.stats();
+        println!(
+            "  {:<7}: peak {:>8.2} kW | mean {:>8.2} kW | p50 {:>8.2} | p95 {:>8.2} | p99 {:>8.2} kW",
+            tl.label(),
+            s.peak.watts() / 1e3,
+            s.mean.watts() / 1e3,
+            s.p50.watts() / 1e3,
+            s.p95.watts() / 1e3,
+            s.p99.watts() / 1e3
+        );
+    }
+    println!(
+        "  sampled energy {:.2} MJ (metered {:.2} MJ)",
+        (tel.compute.energy() + tel.storage.energy()).joules() / 1e6,
+        m.energy_total().megajoules()
+    );
+    let dir = std::path::PathBuf::from("target/figures");
+    std::fs::create_dir_all(&dir).expect("output dir writable");
+    std::fs::write(dir.join("phase_power.csv"), obs_export::phase_power_csv())
+        .expect("csv writable");
+    std::fs::write(dir.join("phase_energy.csv"), obs_export::phase_energy_csv())
+        .expect("csv writable");
+    println!(
+        "  W(t) for the full paper matrix written to {} (alongside phase_energy.csv)",
+        dir.join("phase_power.csv").display()
+    );
+}
+
 fn table1() {
     banner("Table I — comparison with related work (qualitative)");
     println!("  Power:        related work estimated; this work measured (simulated meters)");
@@ -305,6 +363,7 @@ fn main() {
         "fault" => fault(),
         "native" => native(),
         "trace" => trace(&args[1..]),
+        "power-trace" => power_trace(&args[1..]),
         "table1" => table1(),
         "all" => {
             table1();
@@ -328,7 +387,7 @@ fn main() {
         other => {
             eprintln!("unknown experiment: {other}");
             eprintln!(
-                "usage: experiments [all|fig2..fig10|eq5|proportionality|ablations|extensions|csv [dir]|intransit|fault|native|trace [insitu|post] [hours]|table1]"
+                "usage: experiments [all|fig2..fig10|eq5|proportionality|ablations|extensions|csv [dir]|intransit|fault|native|trace [insitu|post] [hours]|power-trace [insitu|post] [hours]|table1]"
             );
             std::process::exit(2);
         }

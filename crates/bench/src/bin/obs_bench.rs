@@ -1,0 +1,176 @@
+//! Telemetry-overhead benchmark: what the observability layer costs.
+//!
+//! Two questions, answered across the paper's six measured
+//! configurations:
+//!
+//! 1. **Sampling cost** (gated): reconstructing the per-component W(t)
+//!    [`PowerTimeline`]s from a finished run's power profiles at the
+//!    paper cadence, on top of an untraced (`Recorder::off()`) run.
+//!    The off-recorder hot path itself is audited allocation-free by
+//!    `crates/obs/tests/off_zero_alloc.rs`; this bench enforces the
+//!    wall-clock half: with `--check`, exits nonzero if the aggregate
+//!    overhead exceeds 2%.
+//! 2. **Full tracing cost** (informational): the same runs with an
+//!    in-memory recorder capturing every span, event and metric.
+//!
+//! Writes `BENCH_obs.json` (or the path given as the first non-flag
+//! argument) plus the Perfetto-loadable Chrome trace and Prometheus
+//! snapshot of the traced in-situ @ 72 h run next to it — the artifacts
+//! the CI obs job uploads.
+//!
+//! [`PowerTimeline`]: ivis_obs::telemetry::PowerTimeline
+
+use std::time::Instant;
+
+use ivis_core::{Campaign, PipelineConfig};
+use ivis_obs::telemetry::paper_cadence;
+use ivis_obs::{to_chrome_trace, to_prometheus, Recorder};
+
+/// Minimum wall-clock seconds of `f` over `reps` runs (after warmup).
+///
+/// Minimum, not median: every path does identical deterministic work, so
+/// the best observation is the least-noisy estimate of the true cost.
+fn time_min_s(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warmup + lazy init
+    (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let mut out_path = "BENCH_obs.json".to_string();
+    let mut check = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--check" {
+            check = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let zsim = std::env::var("ZSIM_THREADS").ok();
+
+    let campaign = Campaign::paper();
+    let cadence = paper_cadence();
+    let reps = 5;
+
+    let mut rows = Vec::new();
+    let mut plain_total = 0.0;
+    let mut telem_total = 0.0;
+    let mut traced_total = 0.0;
+    for pc in PipelineConfig::paper_matrix() {
+        let label = format!("{}@{}h", pc.kind.label(), pc.rate.every_hours);
+        // Correctness first: the sampled timelines must conserve the
+        // metered energy before their cost is worth measuring.
+        let m = campaign.run(&pc);
+        let tel = campaign.telemetry(&m, cadence);
+        let sampled = (tel.compute.energy() + tel.storage.energy()).joules();
+        let metered = m.energy_total().joules();
+        assert!(
+            (sampled - metered).abs() <= 1e-6 * (1.0 + metered.abs()),
+            "{label}: sampled {sampled} J vs metered {metered} J"
+        );
+
+        let plain_s = time_min_s(reps, || {
+            std::hint::black_box(campaign.run(&pc));
+        });
+        let telem_s = time_min_s(reps, || {
+            let m = campaign.run(&pc);
+            std::hint::black_box(campaign.telemetry(&m, cadence));
+        });
+        let traced_s = time_min_s(reps, || {
+            let mut traced = Campaign::paper();
+            let rec = Recorder::in_memory();
+            traced.config.recorder = rec.clone();
+            let m = traced.run(&pc);
+            let tel = traced.telemetry(&m, cadence);
+            tel.record_gauges(&rec);
+            std::hint::black_box(rec.into_buffer());
+        });
+        let overhead_pct = (telem_s / plain_s - 1.0) * 100.0;
+        let traced_pct = (traced_s / plain_s - 1.0) * 100.0;
+        eprintln!(
+            "{label:>20}: plain {:.3} ms, +telemetry {:.3} ms ({overhead_pct:+.2}%), \
+             traced {:.3} ms ({traced_pct:+.2}%)",
+            plain_s * 1e3,
+            telem_s * 1e3,
+            traced_s * 1e3
+        );
+        plain_total += plain_s;
+        telem_total += telem_s;
+        traced_total += traced_s;
+        rows.push((label, plain_s, telem_s, overhead_pct, traced_s, traced_pct));
+    }
+    let aggregate_pct = (telem_total / plain_total - 1.0) * 100.0;
+    let traced_aggregate_pct = (traced_total / plain_total - 1.0) * 100.0;
+    eprintln!(
+        "aggregate: plain {:.3} ms, +telemetry {:.3} ms ({aggregate_pct:+.2}%), \
+         traced ({traced_aggregate_pct:+.2}%)",
+        plain_total * 1e3,
+        telem_total * 1e3
+    );
+
+    // --- the uploadable artifacts: one fully traced paper run ---
+    let mut traced = Campaign::paper();
+    let rec = Recorder::in_memory();
+    traced.config.recorder = rec.clone();
+    let pc = PipelineConfig::paper(ivis_core::PipelineKind::InSitu, 72.0);
+    let m = traced.run(&pc);
+    let tel = traced.telemetry(&m, cadence);
+    tel.record_gauges(&rec);
+    let chrome = rec.with_buffer(to_chrome_trace).expect("recorder is on");
+    let prom = rec
+        .with_buffer(|b| to_prometheus(&b.metrics))
+        .expect("recorder is on");
+    let dir = std::path::Path::new(&out_path)
+        .parent()
+        .map(|p| p.to_path_buf())
+        .unwrap_or_default();
+    let perfetto_path = dir.join("obs_trace.perfetto.json");
+    let prom_path = dir.join("obs_metrics.prom");
+    std::fs::write(&perfetto_path, &chrome).expect("write perfetto trace");
+    std::fs::write(&prom_path, &prom).expect("write prometheus snapshot");
+    eprintln!(
+        "wrote {} ({} trace events) and {}",
+        perfetto_path.display(),
+        chrome.matches("\"ph\":").count(),
+        prom_path.display()
+    );
+
+    let row_json: Vec<String> = rows
+        .iter()
+        .map(|(label, p, t, pct, tr, trpct)| {
+            format!(
+                "    {{ \"config\": \"{label}\", \"plain_s\": {p:.6}, \
+                 \"telemetry_s\": {t:.6}, \"overhead_pct\": {pct:.3}, \
+                 \"traced_s\": {tr:.6}, \"traced_overhead_pct\": {trpct:.3} }}"
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"host\": {{ \"available_parallelism\": {host_threads}, \"zsim_threads\": {} }},\n  \
+         \"telemetry_overhead\": {{\n  \"cadence_s\": {},\n  \"rows\": [\n{}\n  ],\n  \
+         \"aggregate_overhead_pct\": {aggregate_pct:.3}, \
+         \"traced_aggregate_overhead_pct\": {traced_aggregate_pct:.3}, \
+         \"integral_matches_meter\": true, \"off_recorder_zero_alloc\": true }}\n}}\n",
+        zsim.map_or("null".to_string(), |v| format!("\"{v}\"")),
+        cadence.as_secs_f64(),
+        row_json.join(",\n"),
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    eprintln!("wrote {out_path}");
+
+    if check && aggregate_pct > 2.0 {
+        eprintln!(
+            "FAIL: power-timeline sampling costs {aggregate_pct:.2}% over the \
+             untraced runs (2% budget)"
+        );
+        std::process::exit(1);
+    }
+}

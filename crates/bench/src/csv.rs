@@ -65,6 +65,7 @@ pub fn export_all(dir: &Path) -> io::Result<Vec<String>> {
         rows_to_csv(&proportionality_rows()),
     )?;
     put("phase_energy.csv", crate::obs_export::phase_energy_csv())?;
+    put("phase_power.csv", crate::obs_export::phase_power_csv())?;
     let (it_rows, baseline) = extension_intransit_rows(72.0);
     let it: Vec<(f64, f64, f64)> = it_rows.iter().map(|&(n, t, p)| (n as f64, t, p)).collect();
     let mut it_csv = triples_to_csv("staging_nodes,exec_s,avg_power_kw", &it);

@@ -10,6 +10,7 @@ use ivis_cluster::IoWaitPolicy;
 use ivis_core::campaign::Campaign;
 use ivis_core::metrics::PipelineMetrics;
 use ivis_core::{PipelineConfig, PipelineKind};
+use ivis_obs::telemetry::{paper_cadence, PowerTimeline};
 use ivis_obs::{csv as obs_csv, render_fig4, to_jsonl, EnergyAttribution, Recorder};
 
 /// One traced run: metrics, attribution report, and the raw recorder.
@@ -53,6 +54,35 @@ pub fn phase_energy_csv() -> String {
             &config_label(pc.kind, pc.rate.every_hours),
             &traced.attribution,
         ));
+    }
+    out
+}
+
+/// Header of the sampled power CSV: one row per meter interval per
+/// component per configuration.
+pub const POWER_CSV_HEADER: &str = "config,component,minute,watts";
+
+/// Append one timeline's `(minute, watts)` rows to `out`.
+fn power_csv_rows(out: &mut String, config: &str, tl: &PowerTimeline) {
+    use std::fmt::Write as _;
+    for (minute, watts) in tl.rows() {
+        let _ = writeln!(out, "{config},{},{minute},{watts}", tl.label());
+    }
+}
+
+/// Sampled W(t) for the full 2×3 paper matrix at the paper's per-minute
+/// PDU cadence, as one CSV table — the time-resolved counterpart of
+/// [`phase_energy_csv`] (which integrates these same signals per phase).
+pub fn phase_power_csv() -> String {
+    let mut out = String::from(POWER_CSV_HEADER);
+    out.push('\n');
+    let campaign = Campaign::paper();
+    for pc in PipelineConfig::paper_matrix() {
+        let m = campaign.run(&pc);
+        let tel = campaign.telemetry(&m, paper_cadence());
+        let label = config_label(pc.kind, pc.rate.every_hours);
+        power_csv_rows(&mut out, &label, &tel.compute);
+        power_csv_rows(&mut out, &label, &tel.storage);
     }
     out
 }
@@ -104,6 +134,27 @@ mod tests {
         // Every config contributes exactly simulate/write/visualize rows
         // (post-processing reads happen inside the visualize machine phase).
         assert_eq!(lines.len(), 1 + 6 * 3);
+    }
+
+    #[test]
+    fn phase_power_csv_covers_both_components_of_all_six_configs() {
+        let csv = phase_power_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], POWER_CSV_HEADER);
+        for kind in ["in-situ", "post-processing"] {
+            for hours in [8.0, 24.0, 72.0] {
+                for component in ["compute", "storage"] {
+                    let prefix = format!("{kind}@{hours}h,{component},");
+                    assert!(
+                        lines.iter().any(|l| l.starts_with(&prefix)),
+                        "missing W(t) rows for {prefix}"
+                    );
+                }
+            }
+        }
+        // Per-minute cadence: a run lasting n minutes leaves ~n rows per
+        // component, far more than one integrated row per phase.
+        assert!(lines.len() > 100, "only {} rows", lines.len());
     }
 
     #[test]

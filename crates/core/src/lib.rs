@@ -28,6 +28,11 @@
 //! pipelines under an [`ivis_fault::FaultPlan`] with retry/timeout/
 //! degradation machinery, producing a [`resilience::FaultedRun`] that
 //! degrades gracefully instead of panicking.
+//!
+//! Every executor also feeds one observability hook: [`telemetry`] turns
+//! a finished run's harvested power profiles (or the native backend's
+//! phase spans) into sampled W(t) [`ivis_obs::telemetry::PowerTimeline`]s
+//! at a configurable cadence — the paper's per-minute PDU view.
 
 pub mod adaptor;
 pub mod campaign;
@@ -36,6 +41,7 @@ pub mod intransit;
 pub mod metrics;
 pub mod native;
 pub mod resilience;
+pub mod telemetry;
 pub mod transport;
 
 pub use adaptor::{CatalystAdaptor, VizSnapshot};
@@ -43,4 +49,5 @@ pub use campaign::{Campaign, CampaignConfig};
 pub use config::{PipelineConfig, PipelineKind};
 pub use metrics::PipelineMetrics;
 pub use resilience::{FaultedRun, PipelineError};
+pub use telemetry::{native_power_timeline, RunTelemetry};
 pub use transport::{per_node_payload, CompressionConfig, TransportConfig, TransportStats};

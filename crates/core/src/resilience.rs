@@ -307,6 +307,7 @@ pub(crate) fn resilient_write(
                     ],
                 );
                 rec.counter_add(now, "fault.retries", 1.0);
+                rec.histogram_record(now, "fault.retry_backoff_seconds", backoff.as_secs_f64());
                 session.note_backoff(now, now + backoff);
                 now += backoff;
             }

@@ -322,6 +322,11 @@ impl Campaign {
                     ],
                 );
                 rec.counter_add(now, "transport.stalls", 1.0);
+                rec.histogram_record(
+                    now,
+                    "transport.stall_seconds",
+                    free.duration_since(now).as_secs_f64(),
+                );
                 now = free;
                 while inflight.front().is_some_and(|&d| d <= now) {
                     inflight.pop_front();
@@ -380,6 +385,7 @@ impl Campaign {
                 stats.max_in_flight = inflight.len();
             }
             rec.gauge_set(submit, "transport.queue_depth", inflight.len() as f64);
+            rec.histogram_record(submit, "transport.queue_depth_dist", inflight.len() as f64);
             rec.counter_add(
                 submit,
                 "transport.bytes_shipped",

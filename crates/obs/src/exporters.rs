@@ -1,0 +1,293 @@
+//! Interop exporters: Chrome trace-event JSON (Perfetto) and Prometheus
+//! text exposition.
+//!
+//! Both formats are emitted deterministically — fixed component/thread
+//! numbering, buffer order for spans and events, first-use order for
+//! metrics — so exported artifacts are byte-identical across thread
+//! counts and can be golden-pinned. [`to_chrome_trace`] produces the
+//! legacy Chrome JSON array format, which Perfetto's UI
+//! (<https://ui.perfetto.dev>) opens directly; [`to_prometheus`] renders
+//! a [`MetricsRegistry`] snapshot in the Prometheus text exposition
+//! format, including cumulative `_bucket` lines for histogram metrics.
+
+use std::fmt::Write as _;
+
+use crate::jsonl::{push_attrs, push_escaped, push_f64};
+use crate::metrics::{MetricKind, MetricsRegistry};
+use crate::recorder::{Component, TraceBuffer};
+
+/// Fixed thread numbering for the Chrome export: every component maps to
+/// one synthetic thread, in this order, so tids never depend on which
+/// component happened to record first.
+const COMPONENTS: [Component; 7] = [
+    Component::Campaign,
+    Component::Compute,
+    Component::Storage,
+    Component::Viz,
+    Component::Native,
+    Component::Fault,
+    Component::Transport,
+];
+
+fn tid(c: Component) -> usize {
+    1 + COMPONENTS
+        .iter()
+        .position(|&k| k == c)
+        .expect("every component is numbered")
+}
+
+/// Serialize a [`TraceBuffer`] as Chrome trace-event JSON.
+///
+/// Spans become complete (`ph:"X"`) events, instantaneous events become
+/// instants (`ph:"i"`), and every metric sample becomes a counter
+/// (`ph:"C"`) update, all in sim-time microseconds. Open spans (possible
+/// only in a buffer exported mid-run) are skipped. One event per line,
+/// so goldens diff readably.
+pub fn to_chrome_trace(buf: &TraceBuffer) -> String {
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    let mut push_line = |out: &mut String, line: &str| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(line);
+    };
+    push_line(
+        &mut out,
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"insitu-vis\"}}",
+    );
+    let used: Vec<Component> = COMPONENTS
+        .into_iter()
+        .filter(|&c| {
+            buf.spans().iter().any(|s| s.component == c)
+                || buf.events().iter().any(|e| e.component == c)
+        })
+        .collect();
+    for c in &used {
+        let line = format!(
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":\"{}\"}}}}",
+            tid(*c),
+            c.label()
+        );
+        push_line(&mut out, &line);
+    }
+    for span in buf.spans() {
+        let Some(end) = span.end else { continue };
+        let mut line = String::new();
+        let _ = write!(
+            line,
+            "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"name\":\"",
+            tid(span.component),
+            span.start.as_micros(),
+            (end - span.start).as_micros(),
+        );
+        push_escaped(&mut line, span.name);
+        line.push_str("\",\"cat\":\"");
+        push_escaped(&mut line, span.component.label());
+        line.push_str("\",\"args\":");
+        push_attrs(&mut line, &span.attrs);
+        line.push('}');
+        push_line(&mut out, &line);
+    }
+    for ev in buf.events() {
+        let mut line = String::new();
+        let _ = write!(
+            line,
+            "{{\"ph\":\"i\",\"pid\":1,\"tid\":{},\"ts\":{},\"s\":\"t\",\"name\":\"",
+            tid(ev.component),
+            ev.at.as_micros(),
+        );
+        push_escaped(&mut line, ev.name);
+        line.push_str("\",\"cat\":\"");
+        push_escaped(&mut line, ev.component.label());
+        line.push_str("\",\"args\":");
+        push_attrs(&mut line, &ev.attrs);
+        line.push('}');
+        push_line(&mut out, &line);
+    }
+    for metric in buf.metrics.iter() {
+        let samples: &[(ivis_sim::SimTime, f64)] = match metric.kind() {
+            MetricKind::Histogram => metric.observations(),
+            _ => metric.series().samples(),
+        };
+        for &(t, v) in samples {
+            let mut line = String::new();
+            let _ = write!(
+                line,
+                "{{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":{},\"name\":\"",
+                t.as_micros()
+            );
+            push_escaped(&mut line, metric.name());
+            line.push_str("\",\"args\":{\"value\":");
+            push_f64(&mut line, v);
+            line.push_str("}}");
+            push_line(&mut out, &line);
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Map a metric name to a legal Prometheus metric name.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn push_value(out: &mut String, v: f64) {
+    if v.is_nan() {
+        out.push_str("NaN");
+    } else if v == f64::INFINITY {
+        out.push_str("+Inf");
+    } else if v == f64::NEG_INFINITY {
+        out.push_str("-Inf");
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+/// Render a [`MetricsRegistry`] snapshot in the Prometheus text
+/// exposition format, in first-use order.
+///
+/// Counters export their final cumulative total as `<name>_total`,
+/// gauges their last value, histograms cumulative `_bucket{le=...}`
+/// lines over the deterministic log-bucket grid plus `_sum` and
+/// `_count`. This is an end-of-run snapshot: the time dimension lives in
+/// the JSONL/Chrome exports, not here.
+pub fn to_prometheus(reg: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for metric in reg.iter() {
+        let name = sanitize(metric.name());
+        match metric.kind() {
+            MetricKind::Counter => {
+                let _ = writeln!(out, "# TYPE {name}_total counter");
+                let _ = write!(out, "{name}_total ");
+                push_value(&mut out, metric.last_value());
+                out.push('\n');
+            }
+            MetricKind::Gauge => {
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let _ = write!(out, "{name} ");
+                push_value(&mut out, metric.last_value());
+                out.push('\n');
+            }
+            MetricKind::Histogram => {
+                let h = metric.histogram().expect("histogram kind has a snapshot");
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                let mut cum = 0u64;
+                for &(bound, count) in &h.buckets {
+                    cum += count;
+                    let _ = write!(out, "{name}_bucket{{le=\"");
+                    push_value(&mut out, bound);
+                    let _ = writeln!(out, "\"}} {cum}");
+                }
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+                let _ = write!(out, "{name}_sum ");
+                push_value(&mut out, h.sum);
+                out.push('\n');
+                let _ = writeln!(out, "{name}_count {}", h.count);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{AttrValue, Recorder};
+    use ivis_cluster::JobPhase;
+    use ivis_sim::SimTime;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    fn sample_recorder() -> Recorder {
+        let rec = Recorder::in_memory();
+        let root = rec.span(t(0.0), "campaign", Component::Campaign);
+        rec.set_attr(root, "kind", AttrValue::Str("insitu"));
+        let phase = rec.phase_span(t(0.0), JobPhase::Simulate, Component::Compute);
+        rec.event(
+            t(1.5),
+            "output_written",
+            Component::Storage,
+            &[("bytes", AttrValue::U64(42))],
+        );
+        rec.counter_add(t(1.5), "pfs.bytes_written", 42.0);
+        rec.gauge_set(t(1.5), "cluster.power_w", 46_300.0);
+        rec.histogram_record(t(1.0), "transport.stall_seconds", 0.375);
+        rec.histogram_record(t(1.6), "transport.stall_seconds", 1.375);
+        rec.histogram_record(t(1.7), "transport.stall_seconds", 1.25);
+        rec.close(t(2.0), phase);
+        rec.close(t(2.0), root);
+        rec
+    }
+
+    #[test]
+    fn chrome_trace_shape_is_pinned() {
+        let rec = sample_recorder();
+        let text = rec.with_buffer(to_chrome_trace).unwrap();
+        let expected = "\
+{\"displayTimeUnit\":\"ms\",\"traceEvents\":[
+{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"insitu-vis\"}},
+{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"thread_name\",\"args\":{\"name\":\"campaign\"}},
+{\"ph\":\"M\",\"pid\":1,\"tid\":2,\"name\":\"thread_name\",\"args\":{\"name\":\"compute\"}},
+{\"ph\":\"M\",\"pid\":1,\"tid\":3,\"name\":\"thread_name\",\"args\":{\"name\":\"storage\"}},
+{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":0,\"dur\":2000000,\"name\":\"campaign\",\"cat\":\"campaign\",\"args\":{\"kind\":\"insitu\"}},
+{\"ph\":\"X\",\"pid\":1,\"tid\":2,\"ts\":0,\"dur\":2000000,\"name\":\"simulate\",\"cat\":\"compute\",\"args\":{}},
+{\"ph\":\"i\",\"pid\":1,\"tid\":3,\"ts\":1500000,\"s\":\"t\",\"name\":\"output_written\",\"cat\":\"storage\",\"args\":{\"bytes\":42}},
+{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":1500000,\"name\":\"pfs.bytes_written\",\"args\":{\"value\":42}},
+{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":1500000,\"name\":\"cluster.power_w\",\"args\":{\"value\":46300}},
+{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":1000000,\"name\":\"transport.stall_seconds\",\"args\":{\"value\":0.375}},
+{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":1600000,\"name\":\"transport.stall_seconds\",\"args\":{\"value\":1.375}},
+{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":1700000,\"name\":\"transport.stall_seconds\",\"args\":{\"value\":1.25}}
+]}
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn prometheus_snapshot_is_pinned() {
+        let rec = sample_recorder();
+        let text = rec.with_buffer(|b| to_prometheus(&b.metrics)).unwrap();
+        let expected = "\
+# TYPE pfs_bytes_written_total counter
+pfs_bytes_written_total 42
+# TYPE cluster_power_w gauge
+cluster_power_w 46300
+# TYPE transport_stall_seconds histogram
+transport_stall_seconds_bucket{le=\"0.375\"} 1
+transport_stall_seconds_bucket{le=\"1.25\"} 2
+transport_stall_seconds_bucket{le=\"1.5\"} 3
+transport_stall_seconds_bucket{le=\"+Inf\"} 3
+transport_stall_seconds_sum 3
+transport_stall_seconds_count 3
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn open_spans_are_skipped_not_corrupted() {
+        let rec = Recorder::in_memory();
+        let _open = rec.span(t(0.0), "dangling", Component::Compute);
+        let text = rec.with_buffer(to_chrome_trace).unwrap();
+        assert!(!text.contains("dangling"));
+        assert!(text.contains("thread_name"));
+    }
+
+    #[test]
+    fn prometheus_names_are_sanitized() {
+        assert_eq!(sanitize("pfs.bytes-written"), "pfs_bytes_written");
+        assert_eq!(sanitize("ok_name3"), "ok_name3");
+    }
+}

@@ -10,12 +10,13 @@
 
 use std::fmt::Write as _;
 
+use crate::metrics::MetricKind;
 use crate::recorder::{AttrValue, SpanId, TraceBuffer};
 
 /// Schema identifier embedded in the meta line.
 pub const SCHEMA: &str = "ivis-trace-v1";
 
-fn push_escaped(out: &mut String, s: &str) {
+pub(crate) fn push_escaped(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -31,7 +32,7 @@ fn push_escaped(out: &mut String, s: &str) {
     }
 }
 
-fn push_f64(out: &mut String, v: f64) {
+pub(crate) fn push_f64(out: &mut String, v: f64) {
     if v.is_finite() {
         let _ = write!(out, "{v}");
     } else {
@@ -39,7 +40,7 @@ fn push_f64(out: &mut String, v: f64) {
     }
 }
 
-fn push_attrs(out: &mut String, attrs: &[(&'static str, AttrValue)]) {
+pub(crate) fn push_attrs(out: &mut String, attrs: &[(&'static str, AttrValue)]) {
     out.push('{');
     for (i, (k, v)) in attrs.iter().enumerate() {
         if i > 0 {
@@ -66,7 +67,7 @@ fn push_attrs(out: &mut String, attrs: &[(&'static str, AttrValue)]) {
     out.push('}');
 }
 
-fn push_span_ref(out: &mut String, id: SpanId) {
+pub(crate) fn push_span_ref(out: &mut String, id: SpanId) {
     if id.is_none() {
         out.push_str("null");
     } else {
@@ -131,7 +132,14 @@ pub fn to_jsonl(buf: &TraceBuffer) -> String {
             metric.name(),
             metric.kind().label()
         );
-        for (i, &(t, v)) in metric.series().samples().iter().enumerate() {
+        // Counters and gauges serialize their step function; histograms
+        // serialize the raw `(t, value)` observations, which is the
+        // lossless form (the step function is just the running count).
+        let samples: &[(ivis_sim::SimTime, f64)] = match metric.kind() {
+            MetricKind::Histogram => metric.observations(),
+            _ => metric.series().samples(),
+        };
+        for (i, &(t, v)) in samples.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -193,6 +201,19 @@ mod tests {
         assert_eq!(
             lines[4],
             "{\"type\":\"metric\",\"name\":\"pfs.utilization\",\"kind\":\"gauge\",\"samples\":[[1500000,0.25]]}"
+        );
+    }
+
+    #[test]
+    fn histogram_metrics_export_raw_observations() {
+        let rec = Recorder::in_memory();
+        rec.histogram_record(t(1.0), "transport.stall_seconds", 0.5);
+        rec.histogram_record(t(2.0), "transport.stall_seconds", 1.5);
+        let text = rec.with_buffer(to_jsonl).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines[1],
+            "{\"type\":\"metric\",\"name\":\"transport.stall_seconds\",\"kind\":\"histogram\",\"samples\":[[1000000,0.5],[2000000,1.5]]}"
         );
     }
 

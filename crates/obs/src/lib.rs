@@ -16,10 +16,24 @@
 //! * [`metrics`] — a registry of counters and gauges stored as
 //!   [`ivis_sim::TimeSeries`] step functions, so time-weighted integrals,
 //!   averages and histograms are exact rather than sampled.
-//! * [`jsonl`], [`csv`], [`gantt`] — sinks: a stable-schema JSONL trace
-//!   exporter (one record per line), CSV renderers that plug into the
-//!   bench harness's CSV export, and an ASCII Gantt/timeline renderer (the
-//!   terminal analogue of the paper's Fig. 4 power-profile plot).
+//! * [`metrics`] also carries **log-bucketed histogram metrics**:
+//!   HDR-style quarter-octave buckets with boundaries derived from the
+//!   value's bit pattern, so distributions (queue depths, retry
+//!   latencies, transport stalls) are deterministic across platforms and
+//!   merge exactly across per-thread recorders.
+//! * [`telemetry`] — **time-resolved power telemetry**: a
+//!   [`PowerTimeline`] resamples a harvested power profile (or a phase
+//!   timeline joined with a node power model) through [`MeteredPdu`]
+//!   interval averaging at a configurable cadence — the paper's
+//!   one-sample-per-minute PDU pathway — with exact time-weighted
+//!   peak/mean/percentile stats and power-cap-exceedance accounting.
+//! * [`jsonl`], [`csv`], [`gantt`], [`exporters`] — sinks: a
+//!   stable-schema JSONL trace exporter (one record per line), CSV
+//!   renderers that plug into the bench harness's CSV export, an ASCII
+//!   Gantt/timeline renderer (the terminal analogue of the paper's
+//!   Fig. 4 power-profile plot), plus Chrome trace-event JSON (open it
+//!   at <https://ui.perfetto.dev>) and a Prometheus text-exposition
+//!   snapshot of the metrics registry.
 //! * [`energy`] — the **per-phase energy attribution report**: joins a
 //!   phase timeline against the compute/storage [`PowerProfile`]s to
 //!   report joules by `JobPhase × {compute, storage}`, making the paper's
@@ -27,16 +41,24 @@
 //!   ablation) directly inspectable.
 //!
 //! [`PowerProfile`]: ivis_power::profile::PowerProfile
+//! [`PowerTimeline`]: telemetry::PowerTimeline
+//! [`MeteredPdu`]: ivis_power::meter::MeteredPdu
 
 pub mod csv;
 pub mod energy;
+pub mod exporters;
 pub mod gantt;
 pub mod jsonl;
 pub mod metrics;
 pub mod recorder;
+pub mod telemetry;
 
 pub use energy::{attribute, EnergyAttribution, PhaseEnergy};
+pub use exporters::{to_chrome_trace, to_prometheus};
 pub use gantt::{render_fig4, render_timeline};
 pub use jsonl::to_jsonl;
-pub use metrics::{Metric, MetricKind, MetricsRegistry, TimeWeightedHistogram};
+pub use metrics::{
+    log_bucket_upper, HistogramSnapshot, Metric, MetricKind, MetricsRegistry, TimeWeightedHistogram,
+};
 pub use recorder::{AttrValue, Component, Event, Recorder, Sink, Span, SpanId, TraceBuffer};
+pub use telemetry::{paper_cadence, PowerTimeline, TimelineStats};

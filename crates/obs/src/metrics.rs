@@ -17,6 +17,11 @@ pub enum MetricKind {
     Counter,
     /// Last-write-wins instantaneous value.
     Gauge,
+    /// Distribution of individual observations in deterministic
+    /// log-spaced buckets (see [`log_bucket_upper`]); every raw
+    /// observation is retained, so merges replay exactly and percentiles
+    /// are computed from the data, not from bucket midpoints.
+    Histogram,
 }
 
 impl MetricKind {
@@ -25,6 +30,92 @@ impl MetricKind {
         match self {
             MetricKind::Counter => "counter",
             MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Smallest canonical log-bucket upper bound that is `>= v`.
+///
+/// The bucket grid is HDR-style: every power of two is subdivided into
+/// four quarter-octave buckets, so boundaries are `2^e × (1 + k/4)` for
+/// `k ∈ {0..3}` — all exactly representable in an `f64`. The bound is
+/// derived purely from the value's bit pattern (no `log2`, no libm), so
+/// the grid is identical on every platform and thread count. Values
+/// `<= 0`, NaN and subnormals collapse into a single `0.0` bucket;
+/// values in the top quarter-octave of the finite range round up to
+/// `+inf` (the exporter's `+Inf` bucket).
+pub fn log_bucket_upper(v: f64) -> f64 {
+    if v <= 0.0 || !v.is_finite() {
+        return 0.0;
+    }
+    let bits = v.to_bits();
+    let exp = (bits >> 52) & 0x7ff;
+    if exp == 0 {
+        // Subnormal: far below any measured duration or depth.
+        return 0.0;
+    }
+    if bits & ((1u64 << 50) - 1) == 0 {
+        // Exactly on a quarter-octave boundary: it is its own bound.
+        return v;
+    }
+    let quarter = (bits >> 50) & 0x3;
+    let upper_bits = if quarter == 3 {
+        (exp + 1) << 52
+    } else {
+        (exp << 52) | ((quarter + 1) << 50)
+    };
+    f64::from_bits(upper_bits)
+}
+
+/// Count-per-bucket summary of a histogram metric, in ascending bound
+/// order, plus the exact aggregates the exporters need.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// `(upper_bound, count)` per occupied bucket, ascending by bound.
+    pub buckets: Vec<(f64, u64)>,
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Smallest observation (`+inf` when empty).
+    pub min: f64,
+    /// Largest observation (`-inf` when empty).
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    fn from_observations(obs: &[(SimTime, f64)]) -> Self {
+        let mut buckets: Vec<(f64, u64)> = Vec::new();
+        let mut sum = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &(_, v) in obs {
+            let bound = log_bucket_upper(v);
+            match buckets.binary_search_by(|b| b.0.partial_cmp(&bound).expect("bounds are ordered"))
+            {
+                Ok(i) => buckets[i].1 += 1,
+                Err(i) => buckets.insert(i, (bound, 1)),
+            }
+            sum += v;
+            min = min.min(v);
+            max = max.max(v);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: obs.len() as u64,
+            sum,
+            min,
+            max,
+        }
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
         }
     }
 }
@@ -36,6 +127,8 @@ pub struct Metric {
     kind: MetricKind,
     series: TimeSeries,
     total: f64,
+    /// Raw `(time, value)` observations; populated for histograms only.
+    observations: Vec<(SimTime, f64)>,
 }
 
 impl Metric {
@@ -64,6 +157,31 @@ impl Metric {
     pub fn mean_over(&self, from: SimTime, to: SimTime, default: f64) -> f64 {
         self.series.mean_over(from, to, default)
     }
+
+    /// Raw `(time, value)` observations. Empty unless the metric is a
+    /// histogram.
+    pub fn observations(&self) -> &[(SimTime, f64)] {
+        &self.observations
+    }
+
+    /// Log-bucketed summary of a histogram metric's observations;
+    /// `None` for counters and gauges.
+    pub fn histogram(&self) -> Option<HistogramSnapshot> {
+        match self.kind {
+            MetricKind::Histogram => Some(HistogramSnapshot::from_observations(&self.observations)),
+            _ => None,
+        }
+    }
+
+    /// Exact percentile (`q ∈ [0, 1]`) over a histogram metric's raw
+    /// observations; `None` for other kinds or when empty.
+    pub fn observation_percentile(&self, q: f64) -> Option<f64> {
+        if self.kind != MetricKind::Histogram {
+            return None;
+        }
+        let values: Vec<f64> = self.observations.iter().map(|&(_, v)| v).collect();
+        ivis_sim::stats::percentile(&values, q)
+    }
 }
 
 /// Registry of counters and gauges, addressed by static name.
@@ -86,6 +204,7 @@ impl MetricsRegistry {
                 kind,
                 series: TimeSeries::new(),
                 total: 0.0,
+                observations: Vec::new(),
             });
             self.metrics.len() - 1
         });
@@ -114,6 +233,18 @@ impl MetricsRegistry {
         m.series.push(t, value);
     }
 
+    /// Record one observation of `value` in the histogram `name` at time
+    /// `t`. The raw sample is retained (merges replay it exactly); the
+    /// step-function view tracks the cumulative observation count and
+    /// `last_value` the running sum of observed values.
+    pub fn histogram_record(&mut self, t: SimTime, name: &'static str, value: f64) {
+        let m = self.slot(name, MetricKind::Histogram);
+        m.observations.push((t, value));
+        m.total += value;
+        let count = m.observations.len() as f64;
+        m.series.push(t, count);
+    }
+
     /// Look up a metric by name.
     pub fn get(&self, name: &str) -> Option<&Metric> {
         self.index.get(name).map(|&i| &self.metrics[i])
@@ -140,24 +271,34 @@ impl MetricsRegistry {
     /// Counter series store cumulative totals, so each part's series is
     /// first converted back to per-update deltas; re-accumulating the
     /// time-sorted deltas yields the cumulative total the union of writers
-    /// would have produced. Gauges replay last-write-wins. Ties in time
-    /// break by part index, then by each part's own update order, so the
-    /// result does not depend on which thread produced which part.
+    /// would have produced. Gauges replay last-write-wins; histograms
+    /// replay their raw observations one by one. Ties in time break by
+    /// part index, then by each part's own update order, so the result
+    /// does not depend on which thread produced which part.
     pub fn merge(parts: Vec<MetricsRegistry>) -> MetricsRegistry {
         let mut updates: Vec<(SimTime, usize, &'static str, MetricKind, f64)> = Vec::new();
         for (part_idx, part) in parts.iter().enumerate() {
             for m in part.iter() {
-                let mut prev = 0.0;
-                for &(t, v) in m.series.samples() {
-                    let x = match m.kind {
-                        MetricKind::Counter => {
-                            let delta = v - prev;
-                            prev = v;
-                            delta
+                match m.kind {
+                    MetricKind::Histogram => {
+                        for &(t, v) in m.observations() {
+                            updates.push((t, part_idx, m.name, m.kind, v));
                         }
-                        MetricKind::Gauge => v,
-                    };
-                    updates.push((t, part_idx, m.name, m.kind, x));
+                    }
+                    MetricKind::Counter | MetricKind::Gauge => {
+                        let mut prev = 0.0;
+                        for &(t, v) in m.series.samples() {
+                            let x = match m.kind {
+                                MetricKind::Counter => {
+                                    let delta = v - prev;
+                                    prev = v;
+                                    delta
+                                }
+                                _ => v,
+                            };
+                            updates.push((t, part_idx, m.name, m.kind, x));
+                        }
+                    }
                 }
             }
         }
@@ -167,6 +308,7 @@ impl MetricsRegistry {
             match kind {
                 MetricKind::Counter => merged.counter_add(t, name, x),
                 MetricKind::Gauge => merged.gauge_set(t, name, x),
+                MetricKind::Histogram => merged.histogram_record(t, name, x),
             }
         }
         merged
@@ -319,6 +461,101 @@ mod tests {
         let mut reg = MetricsRegistry::new();
         reg.counter_add(t(0.0), "x", 1.0);
         reg.gauge_set(t(1.0), "x", 2.0);
+    }
+
+    #[test]
+    fn log_buckets_are_quarter_octaves() {
+        // Exact boundaries map to themselves.
+        for b in [0.25, 0.5, 1.0, 1.25, 1.5, 1.75, 2.0, 2.5, 3.0, 3.5, 4.0] {
+            assert_eq!(log_bucket_upper(b), b, "boundary {b}");
+        }
+        // Interior values round up to the next quarter-octave.
+        assert_eq!(log_bucket_upper(1.1), 1.25);
+        assert_eq!(log_bucket_upper(1.3), 1.5);
+        assert_eq!(log_bucket_upper(1.9), 2.0);
+        assert_eq!(log_bucket_upper(3.9), 4.0);
+        assert_eq!(log_bucket_upper(0.3), 0.3125); // 2^-2 × 1.25
+        assert_eq!(log_bucket_upper(100.0), 112.0); // 2^6 × 1.75
+                                                    // Degenerate inputs share the zero bucket.
+        assert_eq!(log_bucket_upper(0.0), 0.0);
+        assert_eq!(log_bucket_upper(-4.0), 0.0);
+        assert_eq!(log_bucket_upper(f64::NAN), 0.0);
+        // The bound is always >= the value and within 25 %.
+        for i in 1..2000 {
+            let v = i as f64 * 0.0137;
+            let b = log_bucket_upper(v);
+            assert!(b >= v, "{b} < {v}");
+            assert!(b <= v * 1.25 + f64::EPSILON, "{b} > 1.25×{v}");
+        }
+    }
+
+    #[test]
+    fn histogram_metric_records_and_snapshots() {
+        let mut reg = MetricsRegistry::new();
+        for (at, v) in [(0.0, 1.1), (1.0, 1.2), (2.0, 1.9), (3.0, 8.0)] {
+            reg.histogram_record(t(at), "lat", v);
+        }
+        let m = reg.get("lat").unwrap();
+        assert_eq!(m.kind(), MetricKind::Histogram);
+        assert_eq!(m.observations().len(), 4);
+        // Step view counts observations; last_value sums them.
+        assert_eq!(m.series().value_at(t(1.5), 0.0), 2.0);
+        assert!((m.last_value() - 12.2).abs() < 1e-12);
+        let h = m.histogram().unwrap();
+        assert_eq!(h.count, 4);
+        assert_eq!(h.buckets, vec![(1.25, 2), (2.0, 1), (8.0, 1)]);
+        assert!((h.sum - 12.2).abs() < 1e-12);
+        assert_eq!(h.min, 1.1);
+        assert_eq!(h.max, 8.0);
+        assert!((m.observation_percentile(0.5).unwrap() - 1.55).abs() < 1e-9);
+        // Counters and gauges have no histogram view.
+        reg.counter_add(t(0.0), "c", 1.0);
+        assert!(reg.get("c").unwrap().histogram().is_none());
+        assert!(reg.get("c").unwrap().observation_percentile(0.5).is_none());
+    }
+
+    #[test]
+    fn merge_replays_histogram_observations_in_time_order() {
+        let mut a = MetricsRegistry::new();
+        a.histogram_record(t(0.0), "lat", 3.0);
+        a.histogram_record(t(20.0), "lat", 5.0);
+        let mut b = MetricsRegistry::new();
+        b.histogram_record(t(10.0), "lat", 4.0);
+        let merged = MetricsRegistry::merge(vec![a, b]);
+        let m = merged.get("lat").unwrap();
+        assert_eq!(
+            m.observations(),
+            &[(t(0.0), 3.0), (t(10.0), 4.0), (t(20.0), 5.0)]
+        );
+        assert_eq!(m.series().value_at(t(15.0), 0.0), 2.0);
+        let h = m.histogram().unwrap();
+        assert_eq!(h.count, 3);
+        assert!((h.sum - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_of_histograms_is_thread_count_invariant() {
+        // The same observations split across 1, 2 or 3 parts merge to an
+        // identical registry — the contract the fault artifacts test
+        // exercises end-to-end.
+        let obs = [(0.0, 0.5), (1.0, 0.7), (1.0, 0.9), (2.0, 4.0), (5.0, 2.2)];
+        let build = |splits: &[usize]| {
+            let mut parts: Vec<MetricsRegistry> = Vec::new();
+            for chunk in obs.chunks(splits.len().max(1)) {
+                let mut r = MetricsRegistry::new();
+                for &(at, v) in chunk {
+                    r.histogram_record(t(at), "lat", v);
+                }
+                parts.push(r);
+            }
+            MetricsRegistry::merge(parts)
+        };
+        let one = build(&[1]);
+        let two = build(&[1, 2]);
+        let m1 = one.get("lat").unwrap();
+        let m2 = two.get("lat").unwrap();
+        assert_eq!(m1.observations(), m2.observations());
+        assert_eq!(m1.series().samples(), m2.series().samples());
     }
 
     #[test]

@@ -426,6 +426,14 @@ impl Recorder {
         }
     }
 
+    /// Record one observation of `value` in the named histogram at `t`.
+    pub fn histogram_record(&self, t: SimTime, name: &'static str, value: f64) {
+        match &self.sink {
+            Sink::Off => {}
+            Sink::Memory(buf) => buf.borrow_mut().metrics.histogram_record(t, name, value),
+        }
+    }
+
     /// Borrow the buffer, if recording. Panics if the buffer is already
     /// mutably borrowed (i.e. called from inside a recording hook).
     pub fn buffer(&self) -> Option<Ref<'_, TraceBuffer>> {
@@ -472,6 +480,7 @@ mod tests {
         rec.event(t(1.0), "e", Component::Compute, &[]);
         rec.counter_add(t(1.0), "c", 1.0);
         rec.gauge_set(t(1.0), "g", 2.0);
+        rec.histogram_record(t(1.0), "h", 3.0);
         rec.close(t(2.0), id);
         assert!(rec.buffer().is_none());
     }
