@@ -1,0 +1,216 @@
+//! Discrete-event-engine benchmark: raw [`ivis_sim::DesEngine`]
+//! throughput, the DES executors against the reference loops across the
+//! paper matrix, and the 10k-node *exascale what-if* campaign on
+//! [`Campaign::caddy_scaled`].
+//!
+//! The DES migration promises two things at once:
+//!
+//! * **identity** — `run_des` and friends reproduce the reference loops
+//!   bit-for-bit (`tests/des_identity.rs` is the full contract; this
+//!   bench re-asserts the digest half and records the digests so the
+//!   artifact doubles as a cross-machine determinism witness);
+//! * **speed** — the timer-wheel/arena engine sustains millions of
+//!   events per second, and a 10 000-node campaign stays interactive.
+//!
+//! Writes `BENCH_des.json` (or the path given as the first non-flag
+//! argument). With `--check`, exits nonzero if any DES digest diverges
+//! from its reference, the raw engine drops below 1M events/s, or the
+//! 10k-node campaign takes longer than 30 s of wall clock — generous
+//! floors meant to catch collapses, not jitter; trajectory gating is
+//! `bench_diff --ratios-only`'s job.
+
+use std::time::Instant;
+
+use ivis_core::{Campaign, PipelineConfig, PipelineKind};
+use ivis_sim::{DesEngine, SimDuration, SimTime};
+
+/// Minimum wall-clock seconds of `f` over `reps` runs (after warmup).
+fn time_min_s(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warmup + lazy init
+    (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// One self-rescheduling event chain: the single-token shape every DES
+/// executor uses, so this is the per-event floor of the whole port.
+fn hot_chain(events: u64) {
+    let mut eng: DesEngine<u64> = DesEngine::new();
+    eng.schedule_at(SimTime::ZERO, 0);
+    let mut handler = |eng: &mut DesEngine<u64>, _at: SimTime, k: u64| {
+        if k + 1 < events {
+            eng.schedule_in(SimDuration::from_micros(7), k + 1);
+        }
+    };
+    eng.run(&mut handler);
+    assert_eq!(eng.events_executed(), events);
+}
+
+/// Pre-load `events` timers scattered (deterministically) across five
+/// decades of delay, then drain: exercises wheel cascades and the
+/// calendar overflow, the worst case for queue maintenance.
+fn wheel_churn(events: u64) {
+    let mut eng: DesEngine<u64> = DesEngine::with_capacity(events as usize);
+    let mut lcg: u64 = 0x9E37_79B9_7F4A_7C15;
+    for k in 0..events {
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        // 1 µs .. ~100 s, biased low like real pipelines.
+        let us = 1 + (lcg >> 33) % 100_000_000;
+        eng.schedule_at(SimTime::from_micros(us), k);
+    }
+    let mut fired = 0u64;
+    let mut last = SimTime::ZERO;
+    let mut handler = |_: &mut DesEngine<u64>, at: SimTime, _: u64| {
+        assert!(at >= last, "wheel fired out of order");
+        last = at;
+        fired += 1;
+    };
+    eng.run(&mut handler);
+    assert_eq!(fired, events);
+}
+
+fn main() {
+    let mut out_path = "BENCH_des.json".to_string();
+    let mut check = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--check" {
+            check = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let zsim = std::env::var("ZSIM_THREADS").ok();
+    let mut failures: Vec<String> = Vec::new();
+
+    // --- raw engine throughput ---
+    const CHAIN_EVENTS: u64 = 1_000_000;
+    const CHURN_EVENTS: u64 = 200_000;
+    let chain_s = time_min_s(3, || hot_chain(CHAIN_EVENTS));
+    let chain_eps = CHAIN_EVENTS as f64 / chain_s;
+    let churn_s = time_min_s(3, || wheel_churn(CHURN_EVENTS));
+    let churn_eps = CHURN_EVENTS as f64 / churn_s;
+    eprintln!("{:>22}: {chain_eps:.0} events/s", "engine/hot_chain");
+    eprintln!("{:>22}: {churn_eps:.0} events/s", "engine/wheel_churn");
+    if check && chain_eps < 1e6 {
+        failures.push(format!(
+            "engine hot chain sustained only {chain_eps:.0} events/s (1M floor)"
+        ));
+    }
+
+    // --- DES executors vs reference loops, paper matrix ---
+    let campaign = Campaign::paper();
+    let reps = 5;
+    let mut rows = Vec::new();
+    for pc in PipelineConfig::paper_matrix() {
+        let label = format!("{}@{}h", pc.kind.label(), pc.rate.every_hours);
+        let reference = campaign.run(&pc);
+        let (des, events) = campaign
+            .try_run_des_with_events(&pc)
+            .expect("clean DES run cannot fail");
+        let identical = des.digest() == reference.digest();
+        if !identical {
+            failures.push(format!(
+                "{label}: DES digest {} != reference {}",
+                des.digest(),
+                reference.digest()
+            ));
+        }
+        let ref_s = time_min_s(reps, || {
+            std::hint::black_box(campaign.run(&pc));
+        });
+        let des_s = time_min_s(reps, || {
+            std::hint::black_box(campaign.run_des(&pc));
+        });
+        let des_eps = events as f64 / des_s;
+        let speedup = ref_s / des_s;
+        eprintln!(
+            "{label:>22}: ref {:.3} ms, des {:.3} ms ({events} events, \
+             {des_eps:.0} ev/s, speedup {speedup:.2})",
+            ref_s * 1e3,
+            des_s * 1e3
+        );
+        rows.push((
+            label,
+            ref_s,
+            des_s,
+            events,
+            des_eps,
+            speedup,
+            identical,
+            des.digest(),
+        ));
+    }
+
+    // --- the exascale what-if: a 10 000-node Caddy on the DES engine ---
+    let big = Campaign::caddy_scaled(10_000);
+    let pc = PipelineConfig::paper(PipelineKind::InSitu, 8.0);
+    let (big_m, big_events) = big
+        .try_run_des_with_events(&pc)
+        .expect("clean DES run cannot fail");
+    let big_ref = big.run(&pc);
+    let big_identical = big_m.digest() == big_ref.digest();
+    if !big_identical {
+        failures.push(format!(
+            "caddy10k: DES digest {} != reference {}",
+            big_m.digest(),
+            big_ref.digest()
+        ));
+    }
+    let big_s = time_min_s(3, || {
+        std::hint::black_box(big.run_des(&pc));
+    });
+    eprintln!(
+        "{:>22}: {:.3} ms ({big_events} events) digest {}",
+        "caddy10k/in-situ@8h",
+        big_s * 1e3,
+        big_m.digest()
+    );
+    if check && big_s > 30.0 {
+        failures.push(format!(
+            "10k-node campaign took {big_s:.1} s of wall clock (30 s budget)"
+        ));
+    }
+
+    // --- artifact ---
+    let row_json: Vec<String> = rows
+        .iter()
+        .map(|(label, r, d, ev, eps, sp, ok, digest)| {
+            format!(
+                "    {{ \"config\": \"{label}\", \"ref_s\": {r:.6}, \"des_s\": {d:.6}, \
+                 \"des_events\": {ev}, \"des_events_per_sec\": {eps:.0}, \
+                 \"des_speedup\": {sp:.3}, \"bit_identical\": {ok}, \"digest\": \"{digest}\" }}"
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"host\": {{ \"available_parallelism\": {host_threads}, \"zsim_threads\": {} }},\n  \
+         \"engine\": {{ \"rows\": [\n    \
+         {{ \"config\": \"engine/hot_chain\", \"events\": {CHAIN_EVENTS}, \"events_per_sec\": {chain_eps:.0} }},\n    \
+         {{ \"config\": \"engine/wheel_churn\", \"events\": {CHURN_EVENTS}, \"events_per_sec\": {churn_eps:.0} }}\n  ] }},\n  \
+         \"des_vs_reference\": {{\n  \"rows\": [\n{}\n  ] }},\n  \
+         \"exascale\": {{\n  \"rows\": [\n    \
+         {{ \"config\": \"caddy10k/in-situ@8h\", \"wall_s\": {big_s:.6}, \"des_events\": {big_events}, \
+         \"bit_identical\": {big_identical}, \"digest\": \"{}\" }}\n  ] }}\n}}\n",
+        zsim.map_or("null".to_string(), |v| format!("\"{v}\"")),
+        row_json.join(",\n"),
+        big_m.digest(),
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    eprintln!("wrote {out_path}");
+
+    if check && !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

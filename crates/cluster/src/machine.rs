@@ -76,6 +76,17 @@ impl Machine {
         Machine::new(ClusterTopology::caddy(), NodePowerModel::caddy(), policy)
     }
 
+    /// A Caddy-style machine scaled to exactly `nodes` nodes (see
+    /// [`ClusterTopology::caddy_scaled`]); the per-node power model is
+    /// unchanged. `caddy_scaled(150, p)` is `caddy(p)` exactly.
+    pub fn caddy_scaled(nodes: usize, policy: IoWaitPolicy) -> Self {
+        Machine::new(
+            ClusterTopology::caddy_scaled(nodes),
+            NodePowerModel::caddy(),
+            policy,
+        )
+    }
+
     /// Enable multiplicative measurement noise (relative std-dev) on cage
     /// power observations, seeded deterministically.
     pub fn with_power_noise(mut self, seed: u64, rel_std: f64) -> Self {

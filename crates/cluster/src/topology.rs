@@ -33,6 +33,31 @@ impl ClusterTopology {
         }
     }
 
+    /// A Caddy-style machine scaled to exactly `nodes` nodes (same node
+    /// hardware: 2 × 8-core sockets). Cages stay at Caddy's ten nodes
+    /// whenever `nodes` divides evenly; otherwise the cage size drops to
+    /// the largest divisor of `nodes` that is ≤ 10, so `num_nodes()` is
+    /// always exactly `nodes` — node counts must never truncate (the
+    /// same lesson as `per_node_payload`'s ceiling division: a floor
+    /// here would silently under-provision every non-divisible machine).
+    ///
+    /// `caddy_scaled(150)` is [`ClusterTopology::caddy`] exactly.
+    ///
+    /// # Panics
+    /// Panics if `nodes` is zero.
+    pub fn caddy_scaled(nodes: usize) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        let nodes_per_cage = (1..=10usize)
+            .rev()
+            .find(|d| nodes % d == 0)
+            .expect("1 divides every count");
+        ClusterTopology {
+            num_cages: nodes / nodes_per_cage,
+            nodes_per_cage,
+            ..ClusterTopology::caddy()
+        }
+    }
+
     /// A small topology for fast tests (2 cages × 2 nodes).
     pub fn tiny() -> Self {
         ClusterTopology {
@@ -112,6 +137,30 @@ mod tests {
         // Every node appears exactly once across cages.
         let total: usize = c.cages().map(|g| c.nodes_in(g).count()).sum();
         assert_eq!(total, c.num_nodes());
+    }
+
+    #[test]
+    fn caddy_scaled_150_is_caddy_exactly() {
+        assert_eq!(ClusterTopology::caddy_scaled(150), ClusterTopology::caddy());
+    }
+
+    #[test]
+    fn caddy_scaled_is_exact_for_awkward_counts() {
+        for nodes in [1usize, 2, 9, 10, 11, 97, 150, 151, 1_000, 9_999, 10_000] {
+            let t = ClusterTopology::caddy_scaled(nodes);
+            assert_eq!(t.num_nodes(), nodes, "node count truncated at {nodes}");
+            assert_eq!(t.cores_per_node(), 16, "node hardware changed");
+            assert!(t.nodes_per_cage <= 10, "cages outgrew the Appro monitors");
+            // Cage mapping still partitions all nodes.
+            let total: usize = t.cages().map(|g| t.nodes_in(g).count()).sum();
+            assert_eq!(total, nodes);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn caddy_scaled_rejects_zero() {
+        let _ = ClusterTopology::caddy_scaled(0);
     }
 
     #[test]

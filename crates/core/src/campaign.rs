@@ -225,6 +225,28 @@ impl Campaign {
         }
     }
 
+    /// A campaign on a Caddy-style machine scaled to exactly `nodes`
+    /// nodes via [`ClusterTopology::caddy_scaled`] (node-granular where
+    /// [`Campaign::scaled_caddy`] is cage-granular, so 10k-node and
+    /// non-divisible what-ifs are expressible). Per-node power model,
+    /// per-core speed and the storage rack are unchanged; rendering
+    /// strong-scales exactly as in `scaled_caddy`. `caddy_scaled(150)`
+    /// reproduces [`Campaign::paper`] bit-for-bit.
+    pub fn caddy_scaled(nodes: usize) -> Self {
+        let topology = ClusterTopology::caddy_scaled(nodes);
+        let mut cost = SimulationCostModel::caddy();
+        cost.cores = topology.num_cores() as u64;
+        let mut config = CampaignConfig::paper();
+        // β was measured on 150 nodes; at nodes = 150 the factor is
+        // exactly 1.0, keeping the seed campaign bit-identical.
+        config.viz_seconds_per_output *= 150.0 / topology.num_nodes() as f64;
+        Campaign {
+            config,
+            cost,
+            topology,
+        }
+    }
+
     /// Execute one pipeline configuration and return its metrics.
     ///
     /// Panics if the storage model rejects an operation (the paper
@@ -675,6 +697,47 @@ mod tests {
             savings[0] < savings[1] && savings[1] < savings[2],
             "energy saving should grow with machine size: {savings:?}"
         );
+    }
+
+    #[test]
+    fn caddy_scaled_150_reproduces_the_seed_machine_exactly() {
+        // Node-granular scaling audit: at the seed's 150 nodes the scaled
+        // constructor must be the paper campaign bit-for-bit (digest, not
+        // tolerance), for both pipeline families.
+        let scaled = Campaign::caddy_scaled(150);
+        assert_eq!(scaled.topology, ClusterTopology::caddy());
+        assert_eq!(scaled.config.viz_seconds_per_output.to_bits(), {
+            let paper = Campaign::paper();
+            paper.config.viz_seconds_per_output.to_bits()
+        });
+        for pc in PipelineConfig::paper_matrix() {
+            let a = Campaign::paper().run(&pc);
+            let b = scaled.run(&pc);
+            assert_eq!(
+                a.digest(),
+                b.digest(),
+                "{:?} @ {} h",
+                pc.kind,
+                pc.rate.every_hours
+            );
+        }
+    }
+
+    #[test]
+    fn caddy_scaled_never_truncates_node_counts() {
+        // Non-divisible node counts must come out exact — the floor-division
+        // failure mode would silently drop nodes (157 → 150, say).
+        for nodes in [1usize, 7, 149, 150, 157, 1_001, 10_000] {
+            let t = ClusterTopology::caddy_scaled(nodes);
+            assert_eq!(t.num_nodes(), nodes, "scaled topology truncated");
+            assert_eq!(t.num_cores(), nodes * 16);
+            let c = Campaign::caddy_scaled(nodes);
+            assert_eq!(c.topology.num_nodes(), nodes);
+            assert_eq!(c.cost.cores, (nodes * 16) as u64);
+        }
+        // Prime counts fall back to one-node cages rather than losing nodes.
+        assert_eq!(ClusterTopology::caddy_scaled(157).nodes_per_cage, 1);
+        assert_eq!(ClusterTopology::caddy_scaled(10_000).nodes_per_cage, 10);
     }
 
     #[test]

@@ -1,0 +1,901 @@
+//! The pipeline executors re-expressed on the indexed discrete-event
+//! engine ([`ivis_sim::DesEngine`]).
+//!
+//! The reference executors in [`campaign`](crate::campaign),
+//! [`resilience`](crate::resilience) and [`transport`](crate::transport)
+//! are imperative loops: one `now` cursor walks the run, calling the
+//! machine/storage/recorder side effects in program order. This module
+//! re-expresses each family as a chain of arena-allocated events on
+//! [`DesEngine`] — the exascale-facing engine whose queue is the
+//! hierarchical timer wheel instead of a `BinaryHeap` of boxed closures.
+//!
+//! **Determinism contract.** Each DES executor is **bit-identical** to
+//! its reference loop: same RNG draw order, same machine phase timeline,
+//! same storage submission schedule, same recorder trace byte-for-byte,
+//! at any host thread count. The construction makes this hold by design:
+//!
+//! * exactly **one event is pending at a time** — the chain
+//!   `Simulate(k) → Render(k) → Write(k) → Simulate(k+1) → …` fires in
+//!   `(time, seq)` order, which coincides with the reference loop's
+//!   program order;
+//! * every handler performs the *same side-effect sequence with the same
+//!   timestamps* as the corresponding loop segment (the timestamps come
+//!   from the same arithmetic on the same RNG stream);
+//! * storage completions, backoff schedules and staging-queue drains are
+//!   *analytic lookahead* — computed inside the event that submits them,
+//!   exactly as the loops do, never re-ordered by the queue.
+//!
+//! The in-transit family keeps the whole loop-body tail (compress →
+//! backpressure → hand-off → render → image write) in one `Chunk(k)`
+//! event: the reference interleaves side effects whose *timestamps* are
+//! not monotone within one iteration (the image write of sample `k`
+//! lands after the simulation of `k+1` starts), so splitting it across
+//! time-ordered events would reorder the trace. One event per iteration
+//! preserves program order and the byte-identical artifact.
+//!
+//! `tests/des_identity.rs` holds every family to this contract across
+//! the paper matrix, fault seeds and staging sweeps, at `ZSIM_THREADS`
+//! 1/2/8; the clean goldens stay pinned by the existing reference tests.
+//!
+//! Each family also carries a component-DAG description
+//! ([`family_dag`]): solver, adaptor, render, encode, transport, storage
+//! and fault nodes wired in the order the event chain visits them — the
+//! schedulable topology the engine executes.
+
+use std::collections::VecDeque;
+
+use ivis_cluster::{JobPhase, SharedLink};
+use ivis_fault::{FaultScenario, FaultSession};
+use ivis_obs::{AttrValue, Component};
+use ivis_ocean::cost::SimulationCostModel;
+use ivis_sim::{ComponentKind, Dag, DesEngine, SimDuration, SimRng, SimTime};
+use ivis_storage::ParallelFileSystem;
+
+use crate::campaign::{note_write, Campaign, PhaseTracer};
+use crate::config::{PipelineConfig, PipelineKind};
+use crate::intransit::InTransitConfig;
+use crate::metrics::PipelineMetrics;
+use crate::resilience::{
+    note_degraded_shed, resilient_write, FaultedRun, PipelineError, WriteOp, WriteOutcome,
+};
+use crate::transport::{per_node_payload, TransportStats};
+
+/// The executor families the DES engine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DesFamily {
+    /// In-situ: render on the compute partition, write only images.
+    InSitu,
+    /// Post-hoc: dump raw fields, read back and render afterwards.
+    PostProcessing,
+    /// In-transit: ship fields to a staging partition over the staged
+    /// transport, render there.
+    InTransit,
+}
+
+/// The component DAG a family's event chain executes, with a
+/// [`ComponentKind::Fault`] injector wired in when `faulted`.
+///
+/// The graph is the schedulable topology: `topo_order` visits components
+/// in exactly the order the executor's event chain fires them for one
+/// sample.
+pub fn family_dag(family: DesFamily, faulted: bool) -> Dag {
+    let mut dag = Dag::new();
+    let solver = dag.add(ComponentKind::Solver, "pop-solver");
+    let mut storage_nodes = Vec::new();
+    let mut transport_node = None;
+    match family {
+        DesFamily::InSitu => {
+            let adaptor = dag.add(ComponentKind::Adaptor, "catalyst-adaptor");
+            let render = dag.add(ComponentKind::Render, "catalyst-render");
+            let encode = dag.add(ComponentKind::Encode, "png-encode");
+            let storage = dag.add(ComponentKind::Storage, "image-db");
+            for (a, b) in [(solver, adaptor), (adaptor, render), (render, encode)] {
+                dag.connect(a, b).expect("static dag is well-formed");
+            }
+            dag.connect(encode, storage)
+                .expect("static dag is well-formed");
+            storage_nodes.push(storage);
+        }
+        DesFamily::PostProcessing => {
+            let encode_raw = dag.add(ComponentKind::Encode, "netcdf-encode");
+            let raw = dag.add(ComponentKind::Storage, "raw-dump");
+            let render = dag.add(ComponentKind::Render, "posthoc-render");
+            let encode_img = dag.add(ComponentKind::Encode, "png-encode");
+            let images = dag.add(ComponentKind::Storage, "image-archive");
+            for (a, b) in [
+                (solver, encode_raw),
+                (encode_raw, raw),
+                (raw, render),
+                (render, encode_img),
+                (encode_img, images),
+            ] {
+                dag.connect(a, b).expect("static dag is well-formed");
+            }
+            storage_nodes.push(raw);
+            storage_nodes.push(images);
+        }
+        DesFamily::InTransit => {
+            let adaptor = dag.add(ComponentKind::Adaptor, "staging-adaptor");
+            let transport = dag.add(ComponentKind::Transport, "staged-handoff");
+            let render = dag.add(ComponentKind::Render, "staging-render");
+            let encode = dag.add(ComponentKind::Encode, "png-encode");
+            let storage = dag.add(ComponentKind::Storage, "image-db");
+            for (a, b) in [
+                (solver, adaptor),
+                (adaptor, transport),
+                (transport, render),
+                (render, encode),
+                (encode, storage),
+            ] {
+                dag.connect(a, b).expect("static dag is well-formed");
+            }
+            storage_nodes.push(storage);
+            transport_node = Some(transport);
+        }
+    }
+    if faulted {
+        let fault = dag.add(ComponentKind::Fault, "fault-injector");
+        // Stragglers gate the solver, retries/sheds wrap every storage
+        // write, and link brownouts derate the transport.
+        dag.connect(fault, solver)
+            .expect("static dag is well-formed");
+        for s in storage_nodes {
+            dag.connect(fault, s).expect("static dag is well-formed");
+        }
+        if let Some(t) = transport_node {
+            dag.connect(fault, t).expect("static dag is well-formed");
+        }
+    }
+    dag
+}
+
+/// Event chain of the in-situ family (clean and faulted).
+enum InsituEvent {
+    /// Simulate chunk `k` (phase begins at the event time).
+    Simulate(u64),
+    /// Catalyst render of sample `k`.
+    Render(u64),
+    /// Image write of sample `k` through the resilient path.
+    Write(u64),
+    /// Trailing simulation steps after the last output.
+    Trailing,
+    /// Terminal: record the makespan.
+    Finish,
+}
+
+/// Event chain of the post-hoc family (clean and faulted).
+enum PostprocEvent {
+    /// Simulate chunk `k`.
+    Simulate(u64),
+    /// Raw netCDF dump of sample `k` through the resilient path.
+    RawWrite(u64),
+    /// Trailing simulation steps.
+    Trailing,
+    /// Stage 2: read back and render everything that landed.
+    ReadRender,
+    /// Stage 2: write the image tarball.
+    ImagesWrite,
+    /// Terminal: record the makespan.
+    Finish,
+}
+
+/// Event chain of the in-transit family: one event per sample (the
+/// loop-body side effects are not time-monotone within an iteration, so
+/// the whole body stays in program order inside one event), plus the
+/// trailing/drain tail.
+enum TransitEvent {
+    /// Full loop body for sample `k`: simulate, compress, backpressure,
+    /// hand-off, render, image write.
+    Chunk(u64),
+    /// Trailing steps, staging drain, machine finish.
+    Tail,
+}
+
+impl Campaign {
+    /// Execute one pipeline configuration on the discrete-event engine.
+    ///
+    /// Bit-identical to [`Campaign::run`] — metrics digest, recorder
+    /// trace and exporter artifacts all match byte-for-byte.
+    ///
+    /// # Panics
+    /// Panics if the storage model rejects an operation;
+    /// [`try_run_des`](Self::try_run_des) returns the error instead.
+    pub fn run_des(&self, pc: &PipelineConfig) -> PipelineMetrics {
+        self.try_run_des(pc)
+            .unwrap_or_else(|e| panic!("pipeline run failed: {e}"))
+    }
+
+    /// Fallible [`run_des`](Self::run_des).
+    pub fn try_run_des(&self, pc: &PipelineConfig) -> Result<PipelineMetrics, PipelineError> {
+        self.try_run_des_with_events(pc).map(|(m, _)| m)
+    }
+
+    /// [`try_run_des`](Self::try_run_des), also returning the number of
+    /// engine events executed — the unit the `des_bench` throughput gate
+    /// is denominated in.
+    pub fn try_run_des_with_events(
+        &self,
+        pc: &PipelineConfig,
+    ) -> Result<(PipelineMetrics, u64), PipelineError> {
+        // An inert session keeps every fault hook at its nominal value;
+        // the existing reference tests pin that a none-session run is
+        // bit-identical to the clean executor, so one DES executor per
+        // family covers both.
+        let scenario = FaultScenario::none();
+        let mut session = FaultSession::new(&scenario);
+        match pc.kind {
+            PipelineKind::InSitu => self.insitu_des(pc, &mut session),
+            PipelineKind::PostProcessing => self.postproc_des(pc, &mut session, false),
+        }
+    }
+
+    /// Execute one pipeline configuration under a fault scenario on the
+    /// discrete-event engine. Bit-identical to
+    /// [`Campaign::run_faulted`] — digest, trace and stats.
+    pub fn run_faulted_des(
+        &self,
+        pc: &PipelineConfig,
+        scenario: &FaultScenario,
+    ) -> Result<FaultedRun, PipelineError> {
+        let mut session = FaultSession::new(scenario);
+        let (metrics, _) = match pc.kind {
+            PipelineKind::InSitu => self.insitu_des(pc, &mut session)?,
+            PipelineKind::PostProcessing => self.postproc_des(pc, &mut session, true)?,
+        };
+        Ok(FaultedRun::finish(metrics, session))
+    }
+
+    /// The staged in-transit executor on the discrete-event engine.
+    /// Bit-identical to
+    /// [`Campaign::try_run_intransit_with_stats`](Self::try_run_intransit_with_stats).
+    pub fn try_run_intransit_des_with_stats(
+        &self,
+        pc: &PipelineConfig,
+        it: &InTransitConfig,
+    ) -> Result<(PipelineMetrics, TransportStats), PipelineError> {
+        let scenario = FaultScenario::none();
+        let mut session = FaultSession::new(&scenario);
+        self.intransit_des(pc, it, &mut session)
+            .map(|(m, s, _)| (m, s))
+    }
+
+    /// Metrics-only [`try_run_intransit_des_with_stats`](Self::try_run_intransit_des_with_stats).
+    pub fn try_run_intransit_des(
+        &self,
+        pc: &PipelineConfig,
+        it: &InTransitConfig,
+    ) -> Result<PipelineMetrics, PipelineError> {
+        self.try_run_intransit_des_with_stats(pc, it)
+            .map(|(m, _)| m)
+    }
+
+    /// The in-transit pipeline under a fault scenario on the
+    /// discrete-event engine; bit-identical to
+    /// [`Campaign::run_intransit_faulted`].
+    pub fn run_intransit_faulted_des(
+        &self,
+        pc: &PipelineConfig,
+        it: &InTransitConfig,
+        scenario: &FaultScenario,
+    ) -> Result<FaultedRun, PipelineError> {
+        let mut session = FaultSession::new(scenario);
+        let metrics = self
+            .intransit_des(pc, it, &mut session)
+            .map(|(m, _, _)| m)?;
+        Ok(FaultedRun::finish(metrics, session))
+    }
+
+    /// In-situ event chain; mirrors `run_insitu_faulted` side effect for
+    /// side effect.
+    fn insitu_des(
+        &self,
+        pc: &PipelineConfig,
+        session: &mut FaultSession,
+    ) -> Result<(PipelineMetrics, u64), PipelineError> {
+        let mut rng = SimRng::new(self.config.seed);
+        let mut machine = self.machine();
+        let mut pfs = ParallelFileSystem::caddy_lustre();
+        let rec = &self.config.recorder;
+        let spec = &pc.spec;
+        let n_out = spec.num_outputs(pc.rate);
+        let spp = spec.steps_per_output(pc.rate);
+        let step_secs = self.cost.step_seconds(spec);
+        let trailing = spec.total_steps().saturating_sub(n_out * spp);
+        let root = self.open_root(pc, SimTime::ZERO);
+        let mut tracer = PhaseTracer::new(rec);
+        let mut written = 0u64;
+        let mut end = SimTime::ZERO;
+        let mut error: Option<PipelineError> = None;
+
+        let next_sim = |k: u64| {
+            if k + 1 < n_out {
+                InsituEvent::Simulate(k + 1)
+            } else {
+                InsituEvent::Trailing
+            }
+        };
+        let mut engine: DesEngine<InsituEvent> = DesEngine::with_capacity(1);
+        engine.schedule_at(
+            SimTime::ZERO,
+            if n_out > 0 {
+                InsituEvent::Simulate(0)
+            } else {
+                InsituEvent::Trailing
+            },
+        );
+        let mut handler = |eng: &mut DesEngine<InsituEvent>, t: SimTime, ev: InsituEvent| match ev {
+            InsituEvent::Simulate(k) => {
+                tracer.begin(&mut machine, t, JobPhase::Simulate);
+                let slow = session.compute_slowdown(t);
+                let done = t + SimDuration::from_secs_f64(
+                    step_secs * spp as f64 * self.noise(&mut rng) * slow,
+                );
+                if session.should_shed(k) {
+                    // Degraded: skip the render and the write for this sample.
+                    note_degraded_shed(rec, session, done, k);
+                    eng.schedule_at(done, next_sim(k));
+                } else {
+                    eng.schedule_at(done, InsituEvent::Render(k));
+                }
+            }
+            InsituEvent::Render(k) => {
+                tracer.begin(&mut machine, t, JobPhase::Visualize);
+                let done = t + SimDuration::from_secs_f64(
+                    self.config.viz_seconds_per_output * self.noise(&mut rng),
+                );
+                eng.schedule_at(done, InsituEvent::Write(k));
+            }
+            InsituEvent::Write(k) => {
+                tracer.begin(&mut machine, t, JobPhase::WriteOutput);
+                let path = format!("/insitu/cinema/ts_{k:06}.png");
+                let op = WriteOp {
+                    path: &path,
+                    bytes: self.config.image_bytes_per_output,
+                    index: k,
+                    counts: true,
+                };
+                match resilient_write(rec, session, &mut pfs, t, &op) {
+                    Ok(WriteOutcome::Written(done)) => {
+                        written += 1;
+                        eng.schedule_at(done, next_sim(k));
+                    }
+                    Ok(WriteOutcome::SpaceShed(at)) => {
+                        eng.schedule_at(at, next_sim(k));
+                    }
+                    // Terminal: schedule nothing, the queue drains.
+                    Err(e) => error = Some(e),
+                }
+            }
+            InsituEvent::Trailing => {
+                let mut now = t;
+                if trailing > 0 {
+                    tracer.begin(&mut machine, now, JobPhase::Simulate);
+                    let slow = session.compute_slowdown(now);
+                    now += SimDuration::from_secs_f64(
+                        step_secs * trailing as f64 * self.noise(&mut rng) * slow,
+                    );
+                }
+                eng.schedule_at(now, InsituEvent::Finish);
+            }
+            InsituEvent::Finish => end = t,
+        };
+        engine.run(&mut handler);
+        let _ = handler;
+        if let Some(e) = error {
+            return Err(e);
+        }
+        tracer.finish(&mut machine, end);
+        rec.close(end, root);
+        Ok((
+            self.harvest(pc, machine, &pfs, end, written),
+            engine.events_executed(),
+        ))
+    }
+
+    /// Post-hoc event chain; mirrors `run_postproc_faulted` when
+    /// `resilient_tail`, `run_postproc` otherwise. The two references
+    /// differ in exactly one observable: the clean loop commits the
+    /// image tarball with a bare `pfs.write` while the faulted loop
+    /// routes it through `resilient_write` (which opens a `pfs_write`
+    /// span), so trace bit-identity needs both tails.
+    fn postproc_des(
+        &self,
+        pc: &PipelineConfig,
+        session: &mut FaultSession,
+        resilient_tail: bool,
+    ) -> Result<(PipelineMetrics, u64), PipelineError> {
+        let mut rng = SimRng::new(self.config.seed ^ 0x5151);
+        let mut machine = self.machine();
+        let mut pfs = ParallelFileSystem::caddy_lustre();
+        let rec = &self.config.recorder;
+        let spec = &pc.spec;
+        let n_out = spec.num_outputs(pc.rate);
+        let spp = spec.steps_per_output(pc.rate);
+        let step_secs = self.cost.step_seconds(spec);
+        let raw = spec.raw_output_bytes();
+        let trailing = spec.total_steps().saturating_sub(n_out * spp);
+        let root = self.open_root(pc, SimTime::ZERO);
+        let mut tracer = PhaseTracer::new(rec);
+        let mut written = 0u64;
+        let mut end = SimTime::ZERO;
+        let mut error: Option<PipelineError> = None;
+
+        let next_sim = |k: u64| {
+            if k + 1 < n_out {
+                PostprocEvent::Simulate(k + 1)
+            } else {
+                PostprocEvent::Trailing
+            }
+        };
+        let mut engine: DesEngine<PostprocEvent> = DesEngine::with_capacity(1);
+        engine.schedule_at(
+            SimTime::ZERO,
+            if n_out > 0 {
+                PostprocEvent::Simulate(0)
+            } else {
+                PostprocEvent::Trailing
+            },
+        );
+        let mut handler =
+            |eng: &mut DesEngine<PostprocEvent>, t: SimTime, ev: PostprocEvent| match ev {
+                PostprocEvent::Simulate(k) => {
+                    tracer.begin(&mut machine, t, JobPhase::Simulate);
+                    let slow = session.compute_slowdown(t);
+                    let done = t + SimDuration::from_secs_f64(
+                        step_secs * spp as f64 * self.noise(&mut rng) * slow,
+                    );
+                    if session.should_shed(k) {
+                        note_degraded_shed(rec, session, done, k);
+                        eng.schedule_at(done, next_sim(k));
+                    } else {
+                        eng.schedule_at(done, PostprocEvent::RawWrite(k));
+                    }
+                }
+                PostprocEvent::RawWrite(k) => {
+                    tracer.begin(&mut machine, t, JobPhase::WriteOutput);
+                    let path = format!("/postproc/raw/out_{k:06}.nc");
+                    let op = WriteOp {
+                        path: &path,
+                        bytes: raw,
+                        index: k,
+                        counts: true,
+                    };
+                    match resilient_write(rec, session, &mut pfs, t, &op) {
+                        Ok(WriteOutcome::Written(done)) => {
+                            written += 1;
+                            eng.schedule_at(done, next_sim(k));
+                        }
+                        Ok(WriteOutcome::SpaceShed(at)) => {
+                            eng.schedule_at(at, next_sim(k));
+                        }
+                        Err(e) => error = Some(e),
+                    }
+                }
+                PostprocEvent::Trailing => {
+                    let mut now = t;
+                    if trailing > 0 {
+                        tracer.begin(&mut machine, now, JobPhase::Simulate);
+                        let slow = session.compute_slowdown(now);
+                        now += SimDuration::from_secs_f64(
+                            step_secs * trailing as f64 * self.noise(&mut rng) * slow,
+                        );
+                    }
+                    eng.schedule_at(now, PostprocEvent::ReadRender);
+                }
+                PostprocEvent::ReadRender => {
+                    // Stage 2 reads back and renders only what landed.
+                    tracer.begin(&mut machine, t, JobPhase::Visualize);
+                    let render =
+                        self.config.viz_seconds_per_output * written as f64 * self.noise(&mut rng);
+                    let read = (raw * written) as f64 / self.config.seq_read_bandwidth_bps;
+                    tracer.attr("render_seconds", AttrValue::F64(render));
+                    tracer.attr("read_seconds", AttrValue::F64(read));
+                    eng.schedule_at(
+                        t + SimDuration::from_secs_f64(render.max(read)),
+                        PostprocEvent::ImagesWrite,
+                    );
+                }
+                PostprocEvent::ImagesWrite => {
+                    tracer.begin(&mut machine, t, JobPhase::WriteOutput);
+                    let images: u64 = self.config.image_bytes_per_output * written;
+                    if resilient_tail {
+                        let op = WriteOp {
+                            path: "/postproc/images.tar",
+                            bytes: images,
+                            index: written,
+                            counts: false,
+                        };
+                        match resilient_write(rec, session, &mut pfs, t, &op) {
+                            Ok(WriteOutcome::Written(done)) | Ok(WriteOutcome::SpaceShed(done)) => {
+                                eng.schedule_at(done, PostprocEvent::Finish);
+                            }
+                            Err(e) => error = Some(e),
+                        }
+                    } else {
+                        match pfs.write(t, "/postproc/images.tar", images) {
+                            Ok(done) => {
+                                note_write(rec, &pfs, t, done, written, images);
+                                eng.schedule_at(done, PostprocEvent::Finish);
+                            }
+                            Err(source) => {
+                                error =
+                                    Some(PipelineError::storage(t, "/postproc/images.tar", source));
+                            }
+                        }
+                    }
+                }
+                PostprocEvent::Finish => end = t,
+            };
+        engine.run(&mut handler);
+        let _ = handler;
+        if let Some(e) = error {
+            return Err(e);
+        }
+        tracer.finish(&mut machine, end);
+        rec.close(end, root);
+        Ok((
+            self.harvest(pc, machine, &pfs, end, written),
+            engine.events_executed(),
+        ))
+    }
+
+    /// In-transit event chain; mirrors `intransit_staged` with the whole
+    /// loop body of sample `k` inside `Chunk(k)`.
+    fn intransit_des(
+        &self,
+        pc: &PipelineConfig,
+        it: &InTransitConfig,
+        session: &mut FaultSession,
+    ) -> Result<(PipelineMetrics, TransportStats, u64), PipelineError> {
+        it.transport.validate();
+        let mut rng = SimRng::new(self.config.seed ^ 0x17A7);
+        let mut machine = self.machine();
+        let mut pfs = ParallelFileSystem::caddy_lustre();
+        let rec = &self.config.recorder;
+        let spec = &pc.spec;
+        let n_out = spec.num_outputs(pc.rate);
+        let spp = spec.steps_per_output(pc.rate);
+        let total_nodes = machine.topology().num_nodes();
+        assert!(
+            it.staging_nodes > 0 && it.staging_nodes < total_nodes,
+            "staging partition must be a proper subset of the machine"
+        );
+        let staging = it.staging_nodes;
+        let cores_per_node = machine.topology().cores_per_node();
+        let mut cost: SimulationCostModel = self.cost.clone();
+        cost.cores = ((total_nodes - staging) * cores_per_node) as u64;
+        let step_secs = cost.step_seconds(spec);
+        let staging_viz_secs =
+            self.config.viz_seconds_per_output * total_nodes as f64 / staging as f64;
+        let raw = spec.raw_output_bytes();
+        let (wire_total, compress_t, decompress_t) = match &it.transport.compression {
+            Some(c) => (
+                c.wire_bytes(raw),
+                SimDuration::from_secs_f64(
+                    raw as f64 / (c.compress_node_bps * (total_nodes - staging) as f64),
+                ),
+                SimDuration::from_secs_f64(raw as f64 / (c.decompress_node_bps * staging as f64)),
+            ),
+            None => (raw, SimDuration::ZERO, SimDuration::ZERO),
+        };
+        let per_node = per_node_payload(wire_total, staging as u64);
+        let depth = it.transport.depth;
+        let mut link = SharedLink::new(it.interconnect.clone());
+        let trailing = spec.total_steps().saturating_sub(n_out * spp);
+
+        let root = self.open_root(pc, SimTime::ZERO);
+        rec.set_attr(root, "staging_nodes", AttrValue::U64(staging as u64));
+        rec.set_attr(root, "transport_depth", AttrValue::U64(depth as u64));
+        if let Some(c) = &it.transport.compression {
+            rec.set_attr(root, "compression_ratio", AttrValue::F64(c.ratio));
+        }
+
+        let mut staging_busy_until = SimTime::ZERO;
+        let mut inflight: VecDeque<SimTime> = VecDeque::with_capacity(depth);
+        let mut stats = TransportStats {
+            depth,
+            ..TransportStats::default()
+        };
+        let mut written = 0u64;
+        let mut end = SimTime::ZERO;
+        let mut error: Option<PipelineError> = None;
+
+        let next_chunk = |k: u64| {
+            if k + 1 < n_out {
+                TransitEvent::Chunk(k + 1)
+            } else {
+                TransitEvent::Tail
+            }
+        };
+        let mut engine: DesEngine<TransitEvent> = DesEngine::with_capacity(1);
+        engine.schedule_at(
+            SimTime::ZERO,
+            if n_out > 0 {
+                TransitEvent::Chunk(0)
+            } else {
+                TransitEvent::Tail
+            },
+        );
+        let mut handler = |eng: &mut DesEngine<TransitEvent>, t: SimTime, ev: TransitEvent| match ev
+        {
+            TransitEvent::Chunk(k) => {
+                let mut now = t; // compute-partition clock
+                                 // Simulate the chunk; staging works off its backlog alongside.
+                let slow = session.compute_slowdown(now);
+                let chunk = SimDuration::from_secs_f64(
+                    step_secs * spp as f64 * self.noise(&mut rng) * slow,
+                );
+                if staging_busy_until > now {
+                    machine.begin_split_phase(
+                        now,
+                        staging,
+                        JobPhase::Simulate,
+                        JobPhase::Visualize,
+                    );
+                    if staging_busy_until < now + chunk {
+                        // Staging drains its queue mid-chunk.
+                        machine.begin_split_phase(
+                            staging_busy_until,
+                            staging,
+                            JobPhase::Simulate,
+                            JobPhase::Idle,
+                        );
+                    }
+                } else {
+                    machine.begin_split_phase(now, staging, JobPhase::Simulate, JobPhase::Idle);
+                }
+                now += chunk;
+                if session.should_shed(k) {
+                    // Degraded: no hand-off, no render, no image for this sample.
+                    note_degraded_shed(rec, session, now, k);
+                    eng.schedule_at(now, next_chunk(k));
+                    return;
+                }
+                // Compress on the compute partition before shipping.
+                if !compress_t.is_zero() {
+                    let staging_phase = if staging_busy_until > now {
+                        JobPhase::Visualize
+                    } else {
+                        JobPhase::Idle
+                    };
+                    machine.begin_split_phase(now, staging, JobPhase::Visualize, staging_phase);
+                    let cid = rec.span(now, "compress", Component::Transport);
+                    rec.set_attr(cid, "index", AttrValue::U64(k));
+                    now += compress_t;
+                    rec.close(now, cid);
+                    stats.compress_time += compress_t;
+                }
+                // Backpressure: at most `depth` samples in flight.
+                while inflight.front().is_some_and(|&d| d <= now) {
+                    inflight.pop_front();
+                }
+                if inflight.len() >= depth {
+                    let free = inflight[0];
+                    machine.begin_split_phase(
+                        now,
+                        staging,
+                        JobPhase::WriteOutput,
+                        JobPhase::Visualize,
+                    );
+                    stats.stall_time += free.duration_since(now);
+                    rec.event(
+                        now,
+                        "transport_stall",
+                        Component::Transport,
+                        &[
+                            ("index", AttrValue::U64(k)),
+                            (
+                                "wait_seconds",
+                                AttrValue::F64(free.duration_since(now).as_secs_f64()),
+                            ),
+                        ],
+                    );
+                    rec.counter_add(now, "transport.stalls", 1.0);
+                    rec.histogram_record(
+                        now,
+                        "transport.stall_seconds",
+                        free.duration_since(now).as_secs_f64(),
+                    );
+                    now = free;
+                    while inflight.front().is_some_and(|&d| d <= now) {
+                        inflight.pop_front();
+                    }
+                }
+                // Ship over the shared link. Synchronous depth blocks
+                // through the transfer; deeper queues overlap it.
+                link.set_bandwidth_scale(session.link_scale(now));
+                let submit = now;
+                if depth == 1 {
+                    machine.begin_split_phase(
+                        now,
+                        staging,
+                        JobPhase::WriteOutput,
+                        JobPhase::WriteOutput,
+                    );
+                }
+                let xfer = link.transfer(submit, per_node);
+                if depth == 1 {
+                    now = xfer.done;
+                }
+                let hid = rec.span(submit, "handoff", Component::Transport);
+                rec.set_attr(hid, "index", AttrValue::U64(k));
+                rec.set_attr(hid, "wire_bytes", AttrValue::U64(per_node));
+                rec.set_attr(
+                    hid,
+                    "queued_seconds",
+                    AttrValue::F64(xfer.queued(submit).as_secs_f64()),
+                );
+                rec.close(xfer.done, hid);
+                // Staging serves FIFO: decompress + render behind whatever
+                // is still queued, then the image write retires the sample.
+                let render = SimDuration::from_secs_f64(staging_viz_secs * self.noise(&mut rng));
+                let service_start = xfer.done.max(staging_busy_until);
+                let render_done = service_start + decompress_t + render;
+                stats.decompress_time += decompress_t;
+                let path = format!("/intransit/cinema/ts_{k:06}.png");
+                let op = WriteOp {
+                    path: &path,
+                    bytes: self.config.image_bytes_per_output,
+                    index: k,
+                    counts: true,
+                };
+                let completion = match resilient_write(rec, session, &mut pfs, render_done, &op) {
+                    Ok(WriteOutcome::Written(done)) => {
+                        written += 1;
+                        done
+                    }
+                    Ok(WriteOutcome::SpaceShed(at)) => at,
+                    Err(e) => {
+                        error = Some(e);
+                        return;
+                    }
+                };
+                staging_busy_until = completion;
+                inflight.push_back(completion);
+                stats.samples_shipped += 1;
+                stats.bytes_shipped += per_node * staging as u64;
+                if inflight.len() > stats.max_in_flight {
+                    stats.max_in_flight = inflight.len();
+                }
+                rec.gauge_set(submit, "transport.queue_depth", inflight.len() as f64);
+                rec.histogram_record(submit, "transport.queue_depth_dist", inflight.len() as f64);
+                rec.counter_add(
+                    submit,
+                    "transport.bytes_shipped",
+                    (per_node * staging as u64) as f64,
+                );
+                eng.schedule_at(now, next_chunk(k));
+            }
+            TransitEvent::Tail => {
+                // Trailing simulation steps, then wait out the staging tail.
+                let mut now = t;
+                if trailing > 0 {
+                    machine.begin_split_phase(now, staging, JobPhase::Simulate, JobPhase::Idle);
+                    let slow = session.compute_slowdown(now);
+                    now += SimDuration::from_secs_f64(
+                        step_secs * trailing as f64 * self.noise(&mut rng) * slow,
+                    );
+                }
+                if staging_busy_until > now {
+                    machine.begin_split_phase(now, staging, JobPhase::Idle, JobPhase::Visualize);
+                    now = staging_busy_until;
+                }
+                machine.finish(now);
+                rec.close(now, root);
+                stats.link_queued = link.queued_time();
+                stats.link_busy = link.busy_time();
+                end = now;
+            }
+        };
+        engine.run(&mut handler);
+        let _ = handler;
+        if let Some(e) = error {
+            return Err(e);
+        }
+        Ok((
+            self.harvest(pc, machine, &pfs, end, written),
+            stats,
+            engine.events_executed(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intransit::reported_kind;
+    use crate::transport::{CompressionConfig, TransportConfig};
+    use ivis_fault::FaultPlan;
+
+    #[test]
+    fn family_dags_validate_and_topo_sort() {
+        for family in [
+            DesFamily::InSitu,
+            DesFamily::PostProcessing,
+            DesFamily::InTransit,
+        ] {
+            for faulted in [false, true] {
+                let dag = family_dag(family, faulted);
+                dag.validate().expect("family dag is acyclic");
+                let order = dag.topo_order().expect("family dag topo-sorts");
+                assert_eq!(order.len(), dag.len());
+                // The first schedulable component is the solver — unless
+                // a fault injector gates it, in which case the injector
+                // is the unique source.
+                let expected_first = if faulted {
+                    ComponentKind::Fault
+                } else {
+                    ComponentKind::Solver
+                };
+                assert_eq!(dag.kind(order[0]), expected_first);
+                let faults = dag
+                    .ids()
+                    .filter(|&id| dag.kind(id) == ComponentKind::Fault)
+                    .count();
+                assert_eq!(faults, usize::from(faulted));
+            }
+        }
+    }
+
+    #[test]
+    fn insitu_des_is_bit_identical_to_the_reference_loop() {
+        let campaign = Campaign::paper();
+        let pc = PipelineConfig::paper(PipelineKind::InSitu, 8.0);
+        let (m, events) = campaign
+            .try_run_des_with_events(&pc)
+            .expect("clean run cannot fail");
+        assert_eq!(m.digest(), campaign.run(&pc).digest());
+        // Simulate + Render + Write per sample, plus Trailing and Finish.
+        assert_eq!(events, 3 * m.num_outputs + 2);
+    }
+
+    #[test]
+    fn postproc_des_is_bit_identical_to_the_reference_loop() {
+        let campaign = Campaign::paper();
+        let pc = PipelineConfig::paper(PipelineKind::PostProcessing, 24.0);
+        let (m, events) = campaign
+            .try_run_des_with_events(&pc)
+            .expect("clean run cannot fail");
+        assert_eq!(m.digest(), campaign.run(&pc).digest());
+        // Simulate + RawWrite per sample, plus the four stage-2 events.
+        assert_eq!(events, 2 * m.num_outputs + 4);
+    }
+
+    #[test]
+    fn intransit_des_is_bit_identical_including_stats() {
+        let campaign = Campaign::paper();
+        let mut pc = PipelineConfig::paper(PipelineKind::InSitu, 24.0);
+        pc.kind = reported_kind();
+        let it = InTransitConfig {
+            staging_nodes: 25,
+            transport: TransportConfig::pipelined(2)
+                .with_compression(CompressionConfig::zfp_like()),
+            ..InTransitConfig::caddy_default()
+        };
+        let (m_ref, s_ref) = campaign
+            .try_run_intransit_with_stats(&pc, &it)
+            .expect("clean staged run cannot fail");
+        let (m_des, s_des) = campaign
+            .try_run_intransit_des_with_stats(&pc, &it)
+            .expect("clean staged run cannot fail");
+        assert_eq!(m_des.digest(), m_ref.digest());
+        assert_eq!(s_des, s_ref);
+    }
+
+    #[test]
+    fn faulted_des_matches_the_reference_digest() {
+        let campaign = Campaign::paper();
+        let pc = PipelineConfig::paper(PipelineKind::InSitu, 8.0);
+        let scenario =
+            FaultScenario::with_plan(FaultPlan::random(42, SimDuration::from_secs(1_300)));
+        let a = campaign
+            .run_faulted(&pc, &scenario)
+            .expect("random plan at seed 42 completes")
+            .digest();
+        let b = campaign
+            .run_faulted_des(&pc, &scenario)
+            .expect("random plan at seed 42 completes")
+            .digest();
+        assert_eq!(a, b);
+    }
+}

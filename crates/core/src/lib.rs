@@ -37,6 +37,7 @@
 pub mod adaptor;
 pub mod campaign;
 pub mod config;
+pub mod des;
 pub mod intransit;
 pub mod metrics;
 pub mod native;
@@ -47,6 +48,7 @@ pub mod transport;
 pub use adaptor::{CatalystAdaptor, VizSnapshot};
 pub use campaign::{Campaign, CampaignConfig};
 pub use config::{PipelineConfig, PipelineKind};
+pub use des::{family_dag, DesFamily};
 pub use metrics::PipelineMetrics;
 pub use resilience::{FaultedRun, PipelineError};
 pub use telemetry::{native_power_timeline, RunTelemetry};

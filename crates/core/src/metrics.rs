@@ -58,6 +58,28 @@ impl PipelineMetrics {
         self.storage_bytes as f64 / 1e9
     }
 
+    /// A replay-stability witness: every duration in exact microseconds,
+    /// every metered energy as raw `f64` bits. Two runs with equal
+    /// digests are bit-identical in everything the paper reports — this
+    /// is what the differential DES harness (`tests/des_identity.rs`)
+    /// compares between the reference loops and the event-queue engine.
+    pub fn digest(&self) -> String {
+        format!(
+            "kind={} rate_mh={} exec_us={} t_sim_us={} t_io_us={} t_viz_us={} bytes={} outputs={} e_compute={:#x} e_storage={:#x}",
+            self.kind.label(),
+            // Exact millihours, so 0.5-hour rates stay integral.
+            (self.rate_hours * 1000.0).round() as i64,
+            self.execution_time.as_micros(),
+            self.t_sim.as_micros(),
+            self.t_io.as_micros(),
+            self.t_viz.as_micros(),
+            self.storage_bytes,
+            self.num_outputs,
+            self.compute_profile.energy().joules().to_bits(),
+            self.storage_profile.energy().joules().to_bits(),
+        )
+    }
+
     /// A one-line report row.
     pub fn row(&self) -> String {
         format!(

@@ -122,7 +122,7 @@ pub struct FaultedRun {
 }
 
 impl FaultedRun {
-    fn finish(metrics: PipelineMetrics, session: FaultSession) -> Self {
+    pub(crate) fn finish(metrics: PipelineMetrics, session: FaultSession) -> Self {
         let retry_energy = metrics
             .compute_profile
             .energy_over(session.backoff_windows());

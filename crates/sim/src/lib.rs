@@ -10,6 +10,15 @@
 //!   caller-supplied world type `W`. Determinism is guaranteed by a
 //!   monotonically increasing sequence number that breaks timestamp ties in
 //!   insertion order.
+//! * [`DesEngine`] — the indexed engine for hot paths: events are plain
+//!   values in an [`arena::EventArena`] popped from a hierarchical
+//!   [`wheel::TimerWheel`] (calendar-queue overflow level for far-future
+//!   entries), with O(1) lazy cancellation via [`EventHandle`]s. Same
+//!   `(time, seq)` determinism contract as [`Simulation`], which is kept
+//!   as the model queue the wheel is property-tested against.
+//! * [`dag`] — pipelines as component DAGs ([`ComponentKind`], [`Dag`])
+//!   replayed on the engine; the executors in the core crate declare
+//!   their wiring with these.
 //! * [`resource`] — analytic queueing servers: a processor-sharing
 //!   [`resource::FairShareServer`] (models bandwidth-shared storage servers)
 //!   and a FIFO [`resource::FcfsServer`] (models metadata servers).
@@ -23,14 +32,22 @@
 //! The engine contains no I/O and no global state; every simulation is a
 //! value.
 
+pub mod arena;
+pub mod dag;
+pub mod engine;
 pub mod event;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
+pub mod wheel;
 
+pub use arena::{EventArena, EventHandle};
+pub use dag::{ComponentId, ComponentKind, Dag, DagError};
+pub use engine::{DesEngine, EventHandler};
 pub use event::Simulation;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use trace::TimeSeries;
+pub use wheel::TimerWheel;

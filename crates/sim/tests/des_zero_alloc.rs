@@ -1,0 +1,109 @@
+//! Steady-state allocation audit of the indexed event engine: once the
+//! arena, wheel slots and overflow buckets are warmed up, a sustained
+//! schedule/cancel/fire cycle must touch the heap zero times.
+//!
+//! Same counting-allocator technique as `ivis-obs`'s
+//! `off_zero_alloc.rs`: a `#[global_allocator]` wrapper counts
+//! `alloc`/`realloc` calls, so this file holds exactly ONE test (any
+//! other test running concurrently would race the counter).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ivis_sim::{DesEngine, SimDuration, SimTime};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// The repeating schedule the steady-state loop drives: a spread of
+/// offsets touching every wheel level (same tick, level 0–3 distances)
+/// plus a far-future overflow entry, and one cancellation per round.
+const OFFSETS_US: [u64; 8] = [
+    0,          // same tick as the driving event
+    3,          // level 0
+    150,        // level 1
+    9_000,      // level 2
+    400_000,    // level 3
+    16_000_000, // level 3, near the epoch edge
+    40_000_000, // beyond the 64^4 µs epoch → calendar overflow
+    17,         // level 0, cancelled before it fires
+];
+
+/// One measured window: `rounds` cycles of schedule-burst + cancel +
+/// drain-to-a-deadline. Returns the allocation-counter delta.
+fn measure(engine: &mut DesEngine<u64>, fired: &mut u64, rounds: u64) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..rounds {
+        let now = engine.now();
+        let mut victim = None;
+        for (i, &off) in OFFSETS_US.iter().enumerate() {
+            let h = engine.schedule_at(now + SimDuration::from_micros(off), i as u64);
+            if i == OFFSETS_US.len() - 1 {
+                victim = Some(h);
+            }
+        }
+        let cancelled = engine.cancel(victim.expect("victim scheduled"));
+        assert!(
+            cancelled.is_some(),
+            "cancel-then-fire must hit a live event"
+        );
+        // Fire everything up to just past the level-3 entries, leaving
+        // the overflow entry pending so the calendar level stays
+        // exercised across rounds.
+        let deadline = now + SimDuration::from_micros(16_500_000);
+        engine.run_until(
+            &mut |_: &mut DesEngine<u64>, _: SimTime, _: u64| {
+                *fired += 1;
+            },
+            deadline,
+        );
+    }
+    ALLOCATIONS.load(Ordering::SeqCst) - before
+}
+
+#[test]
+fn steady_state_event_loop_never_allocates() {
+    let mut engine: DesEngine<u64> = DesEngine::with_capacity(OFFSETS_US.len() + 1);
+    let mut fired = 0u64;
+
+    // Warm-up: grow the arena free list, every wheel slot vector the
+    // schedule will ever touch, the overflow bucket and the cascade
+    // scratch buffer. Allocations here are expected and uncounted.
+    let _ = measure(&mut engine, &mut fired, 64);
+
+    // libtest's own service threads may allocate concurrently (progress
+    // output, timeout bookkeeping), so measure several windows: an
+    // engine that allocates in steady state dirties *every* window;
+    // background noise does not.
+    let deltas: Vec<u64> = (0..5)
+        .map(|_| measure(&mut engine, &mut fired, 200))
+        .collect();
+    assert!(
+        deltas.contains(&0),
+        "steady-state schedule/cancel/fire loop allocated in every \
+         window: {deltas:?} allocations over 5×200 rounds"
+    );
+    // The loop really did run: 7 live events per round (8 scheduled,
+    // 1 cancelled), minus the overflow entries still pending.
+    assert!(fired > 5_000, "engine fired only {fired} events");
+}

@@ -1,0 +1,180 @@
+//! The differential-identity harness of the discrete-event engine: every
+//! executor family, replayed through both engines, must agree
+//! **bit-for-bit** — metrics digests, JSONL traces and exporter
+//! artifacts — at 1, 2 and 8 shim threads.
+//!
+//! The reference loops in `campaign`/`resilience`/`transport` are the
+//! goldens; `Campaign::run_des` and friends re-express them as event
+//! chains on `ivis_sim::DesEngine` (timer wheel + arena). This suite is
+//! the determinism contract of that migration:
+//!
+//! * the full paper matrix (2 pipelines × 3 rates), clean, with traces;
+//! * random fault plans at the CI matrix seeds (1, 42, 1337);
+//! * the staging sweep (partition size × queue depth × compression),
+//!   including `TransportStats` equality;
+//! * the faulted staged run's Perfetto and Prometheus exports.
+
+use insitu_vis::fault::{FaultPlan, FaultScenario};
+use insitu_vis::pipeline::campaign::Campaign;
+use insitu_vis::pipeline::intransit::{reported_kind, InTransitConfig};
+use insitu_vis::pipeline::{CompressionConfig, PipelineConfig, PipelineKind, TransportConfig};
+use insitu_vis::sim::SimDuration;
+use ivis_obs::{to_chrome_trace, to_jsonl, to_prometheus, Recorder};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+const FAULT_SEEDS: [u64; 3] = [1, 42, 1337];
+
+/// Run `f` at each thread count and assert every result equals the first.
+fn identical_at_all_thread_counts<R: PartialEq + std::fmt::Debug>(f: impl Fn() -> R) -> R {
+    let mut out = None;
+    for n in THREAD_COUNTS {
+        rayon::set_num_threads(n);
+        let r = f();
+        match &out {
+            None => out = Some(r),
+            Some(first) => assert_eq!(&r, first, "artifacts changed at {n} threads"),
+        }
+    }
+    rayon::set_num_threads(0);
+    out.unwrap()
+}
+
+/// A traced campaign (mild noise, so the RNG stream is actually consulted)
+/// plus the recorder handle to harvest its trace.
+fn traced_campaign(seed: u64) -> (Campaign, Recorder) {
+    let mut campaign = Campaign::paper_noisy(seed);
+    let rec = Recorder::in_memory();
+    campaign.config.recorder = rec.clone();
+    (campaign, rec)
+}
+
+#[test]
+fn clean_paper_matrix_is_bit_identical_with_traces() {
+    for pc in PipelineConfig::paper_matrix() {
+        let label = format!("{}@{}h", pc.kind.label(), pc.rate.every_hours);
+        let run = |des: bool| {
+            let (campaign, rec) = traced_campaign(11);
+            let m = if des {
+                campaign.run_des(&pc)
+            } else {
+                campaign.run(&pc)
+            };
+            let trace = rec.with_buffer(to_jsonl).expect("recorder is on");
+            (m.digest(), trace)
+        };
+        let (ref_digest, ref_trace) = identical_at_all_thread_counts(|| run(false));
+        let (des_digest, des_trace) = identical_at_all_thread_counts(|| run(true));
+        assert_eq!(des_digest, ref_digest, "{label}: metrics digest diverged");
+        assert_eq!(des_trace, ref_trace, "{label}: JSONL trace diverged");
+    }
+}
+
+#[test]
+fn faulted_runs_agree_across_the_seed_matrix() {
+    // The CI fault matrix seeds, both pipeline kinds; the random plans put
+    // brownouts/transients/pressure/stragglers inside the run's horizon.
+    let horizon = SimDuration::from_secs(1_300);
+    for seed in FAULT_SEEDS {
+        for kind in [PipelineKind::InSitu, PipelineKind::PostProcessing] {
+            let pc = PipelineConfig::paper(kind, 8.0);
+            let scenario = FaultScenario::with_plan(FaultPlan::random(seed, horizon));
+            let digest = |des: bool| {
+                let campaign = Campaign::paper();
+                let run = if des {
+                    campaign.run_faulted_des(&pc, &scenario)
+                } else {
+                    campaign.run_faulted(&pc, &scenario)
+                };
+                run.expect("random plans degrade runs, they do not kill them")
+                    .digest()
+            };
+            let reference = identical_at_all_thread_counts(|| digest(false));
+            let des = identical_at_all_thread_counts(|| digest(true));
+            assert_eq!(
+                des,
+                reference,
+                "seed {seed}, {}: faulted digest diverged",
+                kind.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn staging_sweep_agrees_including_transport_stats() {
+    let sweeps = [
+        (10usize, TransportConfig::synchronous()),
+        (10, TransportConfig::pipelined(4)),
+        (
+            25,
+            TransportConfig::pipelined(2).with_compression(CompressionConfig::zfp_like()),
+        ),
+        (50, TransportConfig::pipelined(2)),
+    ];
+    let mut pc = PipelineConfig::paper(PipelineKind::InSitu, 24.0);
+    pc.kind = reported_kind();
+    for (staging, transport) in sweeps {
+        let it = InTransitConfig {
+            staging_nodes: staging,
+            transport: transport.clone(),
+            ..InTransitConfig::caddy_default()
+        };
+        let run = |des: bool| {
+            let campaign = Campaign::paper_noisy(7);
+            let (m, s) = if des {
+                campaign.try_run_intransit_des_with_stats(&pc, &it)
+            } else {
+                campaign.try_run_intransit_with_stats(&pc, &it)
+            }
+            .expect("clean staged run cannot fail");
+            (m.digest(), s)
+        };
+        let reference = identical_at_all_thread_counts(|| run(false));
+        let des = identical_at_all_thread_counts(|| run(true));
+        assert_eq!(
+            des, reference,
+            "staging {staging} × depth {}: staged run diverged",
+            transport.depth
+        );
+    }
+}
+
+#[test]
+fn faulted_staged_run_exports_identical_artifacts() {
+    // The heaviest configuration: staged transport (depth 2, zfp-class
+    // compression) under a random fault plan, with the recorder on — the
+    // Perfetto and Prometheus artifacts the CI obs job uploads must be
+    // byte-identical between the two engines.
+    let plan = FaultPlan::random(42, SimDuration::from_secs(1_300));
+    let mut pc = PipelineConfig::paper(PipelineKind::InSitu, 8.0);
+    pc.kind = reported_kind();
+    let it = InTransitConfig {
+        staging_nodes: 25,
+        transport: TransportConfig::pipelined(2).with_compression(CompressionConfig::zfp_like()),
+        ..InTransitConfig::caddy_default()
+    };
+    let artifacts = |des: bool| {
+        let (campaign, rec) = traced_campaign(42);
+        let scenario = FaultScenario::with_plan(plan.clone());
+        let run = if des {
+            campaign.run_intransit_faulted_des(&pc, &it, &scenario)
+        } else {
+            campaign.run_intransit_faulted(&pc, &it, &scenario)
+        }
+        .expect("random plans degrade runs, they do not kill them");
+        let chrome = rec.with_buffer(to_chrome_trace).expect("recorder is on");
+        let prom = rec
+            .with_buffer(|b| to_prometheus(&b.metrics))
+            .expect("recorder is on");
+        (run.digest(), chrome, prom)
+    };
+    let reference = identical_at_all_thread_counts(|| artifacts(false));
+    let des = identical_at_all_thread_counts(|| artifacts(true));
+    assert_eq!(des.0, reference.0, "faulted staged digest diverged");
+    assert_eq!(des.1, reference.1, "Perfetto export diverged");
+    assert_eq!(des.2, reference.2, "Prometheus snapshot diverged");
+    // The run actually exercised the staged-transport telemetry.
+    assert!(des
+        .2
+        .contains("# TYPE transport_queue_depth_dist histogram"));
+}
