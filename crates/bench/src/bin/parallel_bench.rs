@@ -1,13 +1,19 @@
 //! Scaling benchmark for the threaded rayon shim: fig2 render + fig9
 //! sweep + fig8 campaign matrix, sequential baseline vs N worker threads.
 //!
-//! Writes `BENCH_parallel.json` (or the path given as the first argument).
-//! The sequential baseline for the render is [`rasterize_reference`] — the
-//! seed's original naive per-pixel renderer — so the recorded speedup is
-//! the combined effect of the table-driven sampling kernel and row-level
-//! threading; outputs are verified bit-identical before timing. The host's
-//! `available_parallelism` is recorded so single-core results read
-//! honestly: thread counts above it cannot add wall-clock speedup there.
+//! Writes `BENCH_parallel.json` (or the path given as the first non-flag
+//! argument). The sequential baseline for the render is
+//! [`rasterize_reference`] — the seed's original naive per-pixel renderer —
+//! so the recorded speedup is the combined effect of the table-driven
+//! sampling kernel and row-level threading; outputs are verified
+//! bit-identical before timing. The host's `available_parallelism` is
+//! recorded so single-core results read honestly: thread counts above it
+//! cannot add wall-clock speedup there.
+//!
+//! With `--check`, exits nonzero if any threaded configuration of any
+//! section runs slower than its own 1-thread time beyond a 15% noise
+//! tolerance — the CI gate for the shim's auto-granularity scheduling:
+//! dispatching must never cost wall-clock time, whatever the grain.
 
 use std::time::Instant;
 
@@ -55,14 +61,39 @@ fn json_threads(entries: &[(usize, f64)]) -> String {
     format!("{{ {} }}", fields.join(", "))
 }
 
+/// Gate: no threaded config may be slower than its own 1-thread time
+/// beyond `TOLERANCE`. Returns the failures as human-readable lines.
+fn regressions(section: &str, entries: &[(usize, f64)]) -> Vec<String> {
+    const TOLERANCE: f64 = 1.15;
+    let base = entries
+        .iter()
+        .find(|&&(n, _)| n == 1)
+        .expect("1-thread entry present")
+        .1;
+    entries
+        .iter()
+        .filter(|&&(n, ms)| n != 1 && ms > base * TOLERANCE)
+        .map(|&(n, ms)| {
+            format!("{section}: {n} threads {ms:.4} ms > 1 thread {base:.4} ms x {TOLERANCE}")
+        })
+        .collect()
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_parallel.json".to_string());
+    let mut out_path = "BENCH_parallel.json".to_string();
+    let mut check = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--check" {
+            check = true;
+        } else {
+            out_path = arg;
+        }
+    }
     let host_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let zsim = std::env::var("ZSIM_THREADS").ok();
+    let mut failures: Vec<String> = Vec::new();
 
     // --- fig2 render: seed's naive sequential renderer vs threaded ---
     let w_field = spun_up_field();
@@ -96,6 +127,7 @@ fn main() {
             per_thread.push((n, ms));
         }
         rayon::set_num_threads(0);
+        failures.extend(regressions(&format!("fig2 {width}x{height}"), &per_thread));
         let at4 = per_thread.iter().find(|&&(n, _)| n == 4).unwrap().1;
         eprintln!(
             "fig2 {width}x{height}: baseline {baseline_ms:.3} ms, 4 threads {at4:.3} ms ({:.2}x)",
@@ -133,6 +165,7 @@ fn main() {
         fig9_entries.push((n, ms));
     }
     rayon::set_num_threads(0);
+    failures.extend(regressions("fig9", &fig9_entries));
 
     // --- fig8 matrix: six-campaign fan-out, 1 thread vs N ---
     let configs = PipelineConfig::paper_matrix();
@@ -145,6 +178,7 @@ fn main() {
         fig8_entries.push((n, ms));
     }
     rayon::set_num_threads(0);
+    failures.extend(regressions("fig8", &fig8_entries));
 
     let json = format!(
         "{{\n  \"host\": {{ \"available_parallelism\": {host_threads}, \"zsim_threads\": {} }},\n  \
@@ -160,4 +194,15 @@ fn main() {
     );
     std::fs::write(&out_path, &json).expect("write benchmark json");
     eprintln!("wrote {out_path}");
+
+    if check {
+        if failures.is_empty() {
+            eprintln!("OK: no threaded configuration slower than 1 thread (15% tolerance)");
+        } else {
+            for f in &failures {
+                eprintln!("FAIL {f}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

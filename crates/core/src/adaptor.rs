@@ -8,7 +8,7 @@
 //! the Okubo-Weiss field, and hands a self-contained [`VizSnapshot`] to the
 //! rendering side, while accounting for the bytes it copied.
 
-use ivis_ocean::okubo_weiss::okubo_weiss;
+use ivis_ocean::okubo_weiss::{okubo_weiss, okubo_weiss_into};
 use ivis_ocean::{Field2D, ShallowWaterModel};
 
 /// A visualization-ready snapshot, decoupled from the solver's internal
@@ -60,6 +60,24 @@ impl CatalystAdaptor {
             vc,
             okubo_weiss: w,
         }
+    }
+
+    /// [`CatalystAdaptor::adapt`] into a recycled snapshot — same values,
+    /// same byte accounting, but the four fields are written in place, so
+    /// pipelines that return snapshots to the producer adapt without
+    /// allocating.
+    ///
+    /// # Panics
+    /// Panics if the snapshot's fields do not match the model's grid shape.
+    pub fn adapt_into(&mut self, model: &ShallowWaterModel, snap: &mut VizSnapshot) {
+        model.centered_velocities_into(&mut snap.uc, &mut snap.vc);
+        okubo_weiss_into(model.grid(), &snap.uc, &snap.vc, &mut snap.okubo_weiss);
+        snap.ssh.data_mut().copy_from_slice(model.state().h.data());
+        self.bytes_copied +=
+            8 * (snap.uc.len() + snap.vc.len() + snap.okubo_weiss.len() + snap.ssh.len()) as u64;
+        self.adaptations += 1;
+        snap.timestep = model.steps();
+        snap.sim_hours = model.time() / 3_600.0;
     }
 
     /// Total bytes copied across all adaptations — the in-situ overhead the
@@ -121,6 +139,33 @@ mod tests {
         assert_eq!(adaptor.adaptations(), 1);
         assert_eq!(adaptor.bytes_copied(), 8 * 4 * n);
         adaptor.adapt(&m);
+        assert_eq!(adaptor.adaptations(), 2);
+        assert_eq!(adaptor.bytes_copied(), 2 * 8 * 4 * n);
+    }
+
+    #[test]
+    fn adapt_into_matches_adapt_exactly() {
+        let mut m = model_with_eddy();
+        m.run(4);
+        let mut fresh_adaptor = CatalystAdaptor::new();
+        let fresh = fresh_adaptor.adapt(&m);
+
+        // Recycle a snapshot taken at a different model state: adapt_into
+        // must fully overwrite it and land bit-identical to adapt().
+        let mut stale_model = model_with_eddy();
+        stale_model.run(1);
+        let mut adaptor = CatalystAdaptor::new();
+        let mut snap = adaptor.adapt(&stale_model);
+        adaptor.adapt_into(&m, &mut snap);
+
+        assert_eq!(snap.timestep, fresh.timestep);
+        assert_eq!(snap.sim_hours, fresh.sim_hours);
+        assert_eq!(snap.ssh.data(), fresh.ssh.data());
+        assert_eq!(snap.uc.data(), fresh.uc.data());
+        assert_eq!(snap.vc.data(), fresh.vc.data());
+        assert_eq!(snap.okubo_weiss.data(), fresh.okubo_weiss.data());
+        // Same accounting as two adapt() calls.
+        let n = m.grid().num_cells() as u64;
         assert_eq!(adaptor.adaptations(), 2);
         assert_eq!(adaptor.bytes_copied(), 2 * 8 * 4 * n);
     }

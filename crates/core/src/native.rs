@@ -12,23 +12,36 @@
 //!
 //! [`run_native_insitu`] overlaps the solver with visualization the way
 //! in-transit systems stage analysis: a producer thread advances the model
-//! and adapts snapshots while the consumer renders, encodes and tracks the
-//! previous frame, hand-off over a bounded (depth-1) channel — double
-//! buffering, at most one frame in flight. Because every frame is a
-//! deep-copied [`VizSnapshot`] and the consumer processes frames strictly
-//! in order, all outputs (PNG bytes, Cinema index, eddy tracks, trace
-//! structure) are **bit-identical** to [`run_native_insitu_sequential`],
-//! which keeps the original strictly-serialized loop as the golden
+//! and adapts snapshots while the consumer renders, encodes and tracks
+//! earlier frames, hand-off over a bounded channel of depth *k*
+//! ([`default_pipeline_depth`], overridable per call via
+//! [`run_native_insitu_depth`] or globally with the `ZSIM_PIPELINE_DEPTH`
+//! environment variable). The consumer drains up to `k` queued snapshots
+//! at a time and renders + encodes them **frame-parallel** on the worker
+//! pool — each frame's segmentation, rasterization and PNG encode is an
+//! independent pure function of its deep-copied [`VizSnapshot`] — then
+//! commits the results strictly in frame order: eddy-tracker observations,
+//! Cinema index entries and phase timings are appended by a single thread
+//! in ascending frame order no matter which worker rendered what.
+//!
+//! Because chunk placement never changes *what* is computed, all outputs
+//! (PNG bytes, Cinema index, eddy tracks, trace structure) are
+//! **bit-identical** to [`run_native_insitu_sequential`] at every depth
+//! and thread count; the strictly-serialized loop is kept as the golden
 //! baseline. Phase wall times are measured on each thread and replayed
 //! through the same wall tracer in sequential order after the join, so
 //! recorded traces have the same span/event/counter sequence either way.
+//! Workers keep per-thread scratch (sample tables, image buffer, PNG
+//! encoder) in thread-local storage, so steady-state rendering allocates
+//! only each frame's own output PNG.
 
+use std::cell::RefCell;
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use ivis_cluster::JobPhase;
 use ivis_eddy::census::{frame_census, FrameCensus};
-use ivis_eddy::features::extract_features;
+use ivis_eddy::features::{extract_features, EddyFeature};
 use ivis_eddy::segment::segment_eddies;
 use ivis_eddy::tracking::{EddyTracker, Track};
 use ivis_fault::{FaultScenario, FaultSession, FaultStats};
@@ -39,8 +52,11 @@ use ivis_ocean::vortex::seed_random_eddies;
 use ivis_ocean::Field2D;
 use ivis_sim::SimTime;
 use ivis_storage::ncdf::{NcFile, VarData};
+use ivis_viz::png::{encoded_png_size, PngEncoder};
+use ivis_viz::raster::{ImageBuffer, SampleTables};
 use ivis_viz::render::FieldRenderer;
 use ivis_viz::CinemaDatabase;
+use rayon::prelude::*;
 
 use crate::adaptor::{CatalystAdaptor, VizSnapshot};
 
@@ -193,6 +209,27 @@ fn tracker_for(grid: &Grid) -> EddyTracker {
     EddyTracker::new(6.0 * grid.dx, 2, lx)
 }
 
+/// Draw the presentation-ready overlays (velocity arrows, colorbar, time
+/// label) on a rendered frame — shared by the serial and frame-parallel
+/// paths so their annotated pixels are identical.
+fn annotate_frame(
+    renderer: &FieldRenderer,
+    img: &mut ImageBuffer,
+    snap: &VizSnapshot,
+    lo: f64,
+    hi: f64,
+) {
+    use ivis_viz::annotate::{draw_colorbar, draw_text, GLYPH_H};
+    use ivis_viz::color::Rgb;
+    use ivis_viz::glyphs::overlay_velocity_arrows;
+    overlay_velocity_arrows(img, &snap.uc, &snap.vc, 24, Rgb::new(40, 40, 40));
+    let bar_w = (img.width() / 3).max(40).min(img.width().saturating_sub(8));
+    let bar_y = img.height().saturating_sub(GLYPH_H + 10);
+    draw_colorbar(img, 4, bar_y, bar_w, 6, renderer.colormap, lo, hi);
+    let label = format!("T = {:.0} H", snap.sim_hours);
+    draw_text(img, 4, 2, &label, Rgb::BLACK);
+}
+
 fn visualize_frame(
     renderer: &FieldRenderer,
     cinema: &mut CinemaDatabase,
@@ -208,19 +245,106 @@ fn visualize_frame(
     tracker.observe(frame, &feats);
     let mut img = renderer.render(w);
     if annotate {
-        use ivis_viz::annotate::{draw_colorbar, draw_text, GLYPH_H};
-        use ivis_viz::color::Rgb;
-        use ivis_viz::glyphs::overlay_velocity_arrows;
-        overlay_velocity_arrows(&mut img, &snap.uc, &snap.vc, 24, Rgb::new(40, 40, 40));
         let (lo, hi) = renderer.resolve_range(w);
-        let bar_w = (img.width() / 3).max(40).min(img.width().saturating_sub(8));
-        let bar_y = img.height().saturating_sub(GLYPH_H + 10);
-        draw_colorbar(&mut img, 4, bar_y, bar_w, 6, renderer.colormap, lo, hi);
-        let label = format!("T = {:.0} H", snap.sim_hours);
-        draw_text(&mut img, 4, 2, &label, Rgb::BLACK);
+        annotate_frame(renderer, &mut img, snap, lo, hi);
     }
     cinema.add_image(snap.timestep, snap.sim_hours, &img);
     frame_census(&feats)
+}
+
+/// Everything a frame worker produced for one snapshot. Commit order (and
+/// therefore tracker state and the Cinema index) is imposed by the
+/// consumer, not by which worker finished first.
+struct RenderedFrame {
+    feats: Vec<EddyFeature>,
+    census: FrameCensus,
+    png: Vec<u8>,
+    /// Wall time this worker spent on the frame (segmentation through
+    /// encode), attributed to the visualize phase at commit.
+    d_worker: Duration,
+}
+
+/// Per-thread rendering scratch, reused across frames: the sample tables
+/// (rebuilt in place when the frame shape repeats), the RGB image buffer
+/// and the PNG encoder's scanline scratch. With these, a steady-state
+/// frame allocates only its own output PNG.
+struct FrameScratch {
+    tables: Option<SampleTables>,
+    img: Option<ImageBuffer>,
+    enc: PngEncoder,
+}
+
+thread_local! {
+    static FRAME_SCRATCH: RefCell<FrameScratch> = RefCell::new(FrameScratch {
+        tables: None,
+        img: None,
+        enc: PngEncoder::new(),
+    });
+}
+
+/// Segment, extract, rasterize, annotate and PNG-encode one snapshot — a
+/// pure function of the snapshot, safe to run on any worker. Pixels and
+/// bytes are bit-identical to the serial [`visualize_frame`] path: the
+/// rebuilt tables equal freshly built ones, rows are shaded with the same
+/// [`SampleTables::shade_row`], and the encoder is deterministic.
+fn render_frame(
+    renderer: &FieldRenderer,
+    grid: &Grid,
+    snap: &VizSnapshot,
+    annotate: bool,
+) -> RenderedFrame {
+    let t0 = Instant::now();
+    let w = &snap.okubo_weiss;
+    let seg = segment_eddies(w, 0.2, 3);
+    let feats = extract_features(grid, w, &seg);
+    let census = frame_census(&feats);
+    let (lo, hi) = renderer.resolve_range(w);
+    let png = FRAME_SCRATCH.with(|cell| {
+        let FrameScratch { tables, img, enc } = &mut *cell.borrow_mut();
+        let tables = match tables {
+            Some(t) if t.matches(w, renderer.width, renderer.height) => {
+                t.rebuild(w);
+                t
+            }
+            slot => slot.insert(SampleTables::new(w, renderer.width, renderer.height)),
+        };
+        let img = match img {
+            Some(i) if i.width() == renderer.width && i.height() == renderer.height => i,
+            slot => slot.insert(ImageBuffer::new(renderer.width, renderer.height)),
+        };
+        for (y, row) in img.pixels_mut().chunks_mut(renderer.width).enumerate() {
+            tables.shade_row(y, renderer.colormap, lo, hi, row);
+        }
+        if annotate {
+            annotate_frame(renderer, img, snap, lo, hi);
+        }
+        let mut png =
+            Vec::with_capacity(encoded_png_size(renderer.width, renderer.height) as usize);
+        enc.encode_into(img, &mut png);
+        png
+    });
+    RenderedFrame {
+        feats,
+        census,
+        png,
+        d_worker: t0.elapsed(),
+    }
+}
+
+/// The pipeline depth [`run_native_insitu`] uses: the `ZSIM_PIPELINE_DEPTH`
+/// environment variable if set (≥ 1), else `min(4, available_parallelism)`
+/// — deeper than the host can render in parallel only buys memory traffic.
+pub fn default_pipeline_depth() -> usize {
+    if let Some(d) = std::env::var("ZSIM_PIPELINE_DEPTH")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        return d.max(1);
+    }
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    hw.min(4)
 }
 
 /// Open the native backend's root span with the run's shape.
@@ -252,8 +376,9 @@ fn note_frame(rec: &Recorder, t: SimTime, frame: u64, census: &FrameCensus) {
 
 /// Run the in-situ pipeline natively: simulate, adapt, render and track;
 /// only images are "written". Solver and visualization run **pipelined**
-/// (see the module docs); outputs are bit-identical to
-/// [`run_native_insitu_sequential`].
+/// with up to [`default_pipeline_depth`] frames in flight, rendered and
+/// encoded frame-parallel on the worker pool (see the module docs);
+/// outputs are bit-identical to [`run_native_insitu_sequential`].
 pub fn run_native_insitu(cfg: &NativeConfig) -> NativeReport {
     run_native_insitu_with(cfg, &Recorder::off())
 }
@@ -262,6 +387,24 @@ pub fn run_native_insitu(cfg: &NativeConfig) -> NativeReport {
 /// measured on their own threads, then replayed as spans on a virtual
 /// sim-time axis in the same order the sequential path records them.
 pub fn run_native_insitu_with(cfg: &NativeConfig, rec: &Recorder) -> NativeReport {
+    run_native_insitu_depth_with(cfg, default_pipeline_depth(), rec)
+}
+
+/// [`run_native_insitu`] at an explicit pipeline depth: the producer may
+/// run up to `depth` output chunks ahead, and up to `depth` frames render
+/// and encode concurrently. Outputs are bit-identical to
+/// [`run_native_insitu_sequential`] at **every** depth and thread count.
+pub fn run_native_insitu_depth(cfg: &NativeConfig, depth: usize) -> NativeReport {
+    run_native_insitu_depth_with(cfg, depth, &Recorder::off())
+}
+
+/// [`run_native_insitu_depth`] with a trace recorder.
+pub fn run_native_insitu_depth_with(
+    cfg: &NativeConfig,
+    depth: usize,
+    rec: &Recorder,
+) -> NativeReport {
+    let depth = depth.max(1);
     let t_run = Instant::now();
     let mut model = cfg.build_model();
     let grid = model.grid().clone();
@@ -275,9 +418,12 @@ pub fn run_native_insitu_with(cfg: &NativeConfig, rec: &Recorder) -> NativeRepor
     // census, kept so the trace can be replayed sequentially after the
     // join.
     let mut timings: Vec<(Duration, Duration, FrameCensus)> = Vec::new();
-    // Depth-1 hand-off: the producer may run at most one chunk ahead of
-    // the frame being visualized (double buffering).
-    let (tx, rx) = mpsc::sync_channel::<(Duration, Duration, VizSnapshot)>(1);
+    // Depth-k hand-off: the producer may run at most `depth` chunks ahead
+    // of the oldest uncommitted frame.
+    let (tx, rx) = mpsc::sync_channel::<(Duration, Duration, VizSnapshot)>(depth);
+    // Committed snapshots flow back to the producer for recycling, so
+    // steady-state adaptation reuses buffers instead of allocating.
+    let (ret_tx, ret_rx) = mpsc::channel::<VizSnapshot>();
     std::thread::scope(|s| {
         s.spawn(move || {
             let mut adaptor = CatalystAdaptor::new();
@@ -289,29 +435,47 @@ pub fn run_native_insitu_with(cfg: &NativeConfig, rec: &Recorder) -> NativeRepor
                 let d_sim = t0.elapsed();
                 step += chunk;
                 let t1 = Instant::now();
-                let snap = adaptor.adapt(&model);
+                let snap = match ret_rx.try_recv() {
+                    Ok(mut recycled) => {
+                        adaptor.adapt_into(&model, &mut recycled);
+                        recycled
+                    }
+                    Err(_) => adaptor.adapt(&model),
+                };
                 let d_adapt = t1.elapsed();
                 if tx.send((d_sim, d_adapt, snap)).is_err() {
                     return; // consumer gone (it panicked); just stop
                 }
             }
         });
-        // Consumer: frames arrive and are visualized strictly in order,
-        // so tracker state and Cinema entries match the sequential path.
-        for (d_sim, d_adapt, snap) in rx {
-            let t1 = Instant::now();
-            census = visualize_frame(
-                &renderer,
-                &mut cinema,
-                &mut tracker,
-                &grid,
-                &snap,
-                frames,
-                cfg.annotate,
-            );
-            let d_viz = t1.elapsed();
-            timings.push((d_sim, d_adapt + d_viz, census.clone()));
-            frames += 1;
+        // Consumer: drain up to `depth` queued snapshots, render + encode
+        // them frame-parallel, then commit strictly in frame order so
+        // tracker state and Cinema entries match the sequential path.
+        let mut batch: Vec<(Duration, Duration, VizSnapshot)> = Vec::with_capacity(depth);
+        // Loop ends when the producer is done and the queue drained.
+        while let Ok(first) = rx.recv() {
+            batch.push(first);
+            while batch.len() < depth {
+                match rx.try_recv() {
+                    Ok(more) => batch.push(more),
+                    Err(_) => break,
+                }
+            }
+            let annotate = cfg.annotate;
+            let rendered: Vec<RenderedFrame> = batch
+                .par_iter()
+                .map(|(_, _, snap)| render_frame(&renderer, &grid, snap, annotate))
+                .collect();
+            for ((d_sim, d_adapt, snap), rf) in batch.drain(..).zip(rendered) {
+                let t_commit = Instant::now();
+                tracker.observe(frames, &rf.feats);
+                cinema.add_encoded(snap.timestep, snap.sim_hours, rf.png);
+                census = rf.census;
+                let d_commit = t_commit.elapsed();
+                timings.push((d_sim, d_adapt + rf.d_worker + d_commit, census.clone()));
+                frames += 1;
+                let _ = ret_tx.send(snap); // producer may already be done
+            }
         }
     });
     let wall_end_to_end = t_run.elapsed();
@@ -791,6 +955,33 @@ mod tests {
         }
         assert_eq!(a.tracks, b.tracks);
         assert_eq!(a.final_census, b.final_census);
+    }
+
+    #[test]
+    fn depth_k_matches_sequential_exactly() {
+        // Annotate so the worker's overlay path is exercised too.
+        let mut cfg = NativeConfig::tiny();
+        cfg.annotate = true;
+        let golden = run_native_insitu_sequential(&cfg);
+        for depth in [1, 2, 4] {
+            let r = run_native_insitu_depth(&cfg, depth);
+            assert_eq!(r.frames, golden.frames, "depth {depth}");
+            assert_eq!(
+                r.cinema.index_json(),
+                golden.cinema.index_json(),
+                "depth {depth}"
+            );
+            for (ea, eb) in r.cinema.entries().iter().zip(golden.cinema.entries()) {
+                assert_eq!(ea.data, eb.data, "depth {depth} frame {}", ea.timestep);
+            }
+            assert_eq!(r.tracks, golden.tracks, "depth {depth}");
+            assert_eq!(r.final_census, golden.final_census, "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn default_depth_is_at_least_one() {
+        assert!(default_pipeline_depth() >= 1);
     }
 
     #[test]

@@ -20,11 +20,22 @@ use crate::grid::Grid;
 /// # Panics
 /// Panics if the field shapes disagree with the grid.
 pub fn okubo_weiss(grid: &Grid, uc: &Field2D, vc: &Field2D) -> Field2D {
+    let mut w = Field2D::zeros(grid.nx, grid.ny);
+    okubo_weiss_into(grid, uc, vc, &mut w);
+    w
+}
+
+/// [`okubo_weiss`] into a caller-provided buffer — allocation-free for
+/// pipelines that recycle snapshots. Identical values and iteration order.
+///
+/// # Panics
+/// Panics if any field shape disagrees with the grid.
+pub fn okubo_weiss_into(grid: &Grid, uc: &Field2D, vc: &Field2D, w: &mut Field2D) {
     assert_eq!((uc.nx(), uc.ny()), (grid.nx, grid.ny), "u shape mismatch");
     assert_eq!((vc.nx(), vc.ny()), (grid.nx, grid.ny), "v shape mismatch");
-    let (nx, ny) = (grid.nx, grid.ny);
+    assert_eq!((w.nx(), w.ny()), (grid.nx, grid.ny), "w shape mismatch");
+    let ny = grid.ny;
     let (dx, dy) = (grid.dx, grid.dy);
-    let mut w = Field2D::zeros(nx, ny);
     w.par_rows_mut().for_each(|(j, row)| {
         let (jm, jp, denom_y) = if j == 0 {
             (0, 1, dy)
@@ -45,7 +56,6 @@ pub fn okubo_weiss(grid: &Grid, uc: &Field2D, vc: &Field2D) -> Field2D {
             *out = sn * sn + ss * ss - omega * omega;
         }
     });
-    w
 }
 
 /// The eddy threshold of Woodring et al.: cells with `W < −k·σ_W` are

@@ -54,9 +54,18 @@ impl CinemaDatabase {
 
     /// Add an image captured at `timestep` / `sim_hours`.
     pub fn add_image(&mut self, timestep: u64, sim_hours: f64, img: &ImageBuffer) {
-        let filename = format!("ts_{timestep:08}.png");
         let mut data = Vec::with_capacity(encoded_png_size(img.width(), img.height()) as usize);
         self.encoder.encode_into(img, &mut data);
+        self.add_encoded(timestep, sim_hours, data);
+    }
+
+    /// Add an already-encoded PNG captured at `timestep` / `sim_hours` —
+    /// the commit half of pipelines that encode frames on worker threads
+    /// and append them to the index strictly in frame order. Produces the
+    /// same entry (filename, bytes, index line) as [`CinemaDatabase::
+    /// add_image`] given the same image.
+    pub fn add_encoded(&mut self, timestep: u64, sim_hours: f64, data: Vec<u8>) {
+        let filename = format!("ts_{timestep:08}.png");
         self.entries.push(CinemaEntry {
             timestep,
             sim_hours,

@@ -19,9 +19,26 @@
 //! the output buffer and a reusable one-scanline scratch. The stored-block
 //! layout (and therefore the exact file size) comes from one shared
 //! function, [`png_layout`], so [`encoded_png_size`] is exact *by
-//! construction*. The CRC-32 table is built at compile time.
+//! construction*.
+//!
+//! ## Width-parallel checksums
+//!
+//! Stored blocks mean the encoder's arithmetic is *all* checksum work, so
+//! the two inner loops get the classic wide treatments (DESIGN.md §8):
+//!
+//! * **CRC-32, slice-by-8** — eight derived lookup tables (built at compile
+//!   time from the same polynomial table) fold 8 input bytes per iteration
+//!   instead of 1. CRC over GF(2) is linear, so the split is exact: the
+//!   result equals the bytewise [`crc32_reference`] on every input, which
+//!   the proptests assert.
+//! * **Adler-32, 8-striped with mod-deferral** — within each ≤ 5552-byte
+//!   block, eight [`U32x8`] lane accumulators carry
+//!   `Σ x[8j+l]` and `Σ j·x[8j+l]`; the closed-form recombination in u64
+//!   yields exactly the serial `a += x; b += a` recurrence mod 65521
+//!   ([`adler32_reference`] is the retained golden).
 
 use crate::raster::ImageBuffer;
+use ivis_lanes::U32x8;
 
 /// The 8-byte PNG signature.
 pub const PNG_SIGNATURE: [u8; 8] = [0x89, b'P', b'N', b'G', 0x0D, 0x0A, 0x1A, 0x0A];
@@ -50,13 +67,56 @@ const CRC_TABLE: [u32; 256] = {
     table
 };
 
-/// Fold `data` into a running (pre-inverted) CRC-32 state.
+/// Slice-by-8 CRC-32 tables. `CRC_TABLES[0]` is the classic bytewise
+/// [`CRC_TABLE`]; table `k` advances a byte through `k` additional zero
+/// bytes, so one iteration can fold 8 input bytes at once. Built at compile
+/// time from the same polynomial.
+const CRC_TABLES: [[u32; 256]; 8] = {
+    let mut tables = [[0u32; 256]; 8];
+    tables[0] = CRC_TABLE;
+    let mut k = 1;
+    while k < 8 {
+        let mut n = 0;
+        while n < 256 {
+            let prev = tables[k - 1][n];
+            tables[k][n] = tables[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+            n += 1;
+        }
+        k += 1;
+    }
+    tables
+};
+
+/// Fold `data` into a running (pre-inverted) CRC-32 state, bytewise. The
+/// retained scalar reference for the slice-by-8 fast path.
 #[inline]
-fn crc32_update(mut crc: u32, data: &[u8]) -> u32 {
+fn crc32_update_reference(mut crc: u32, data: &[u8]) -> u32 {
     for &b in data {
         crc = CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
     }
     crc
+}
+
+/// Fold `data` into a running (pre-inverted) CRC-32 state, 8 bytes per
+/// iteration (slice-by-8). Bit-identical to [`crc32_update_reference`] —
+/// CRC is linear over GF(2), so folding the state through two 4-byte words
+/// with precomputed shift tables computes the same remainder.
+#[inline]
+fn crc32_update(mut crc: u32, data: &[u8]) -> u32 {
+    let mut octets = data.chunks_exact(8);
+    for c in octets.by_ref() {
+        let lo = u32::from_le_bytes(c[0..4].try_into().unwrap()) ^ crc;
+        let hi = u32::from_le_bytes(c[4..8].try_into().unwrap());
+        crc = CRC_TABLES[7][(lo & 0xFF) as usize]
+            ^ CRC_TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[4][(lo >> 24) as usize]
+            ^ CRC_TABLES[3][(hi & 0xFF) as usize]
+            ^ CRC_TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[0][(hi >> 24) as usize];
+    }
+    crc32_update_reference(crc, octets.remainder())
 }
 
 /// CRC-32 (IEEE 802.3) over `data`, as PNG requires.
@@ -64,15 +124,24 @@ pub fn crc32(data: &[u8]) -> u32 {
     crc32_update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
 }
 
+/// CRC-32 via the retained bytewise loop — the golden the slice-by-8 path
+/// is proptested against, and the baseline `native_bench` measures the
+/// `simd.crc32` speedup from.
+pub fn crc32_reference(data: &[u8]) -> u32 {
+    crc32_update_reference(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
 /// Largest number of bytes that can be folded into an Adler-32 state
 /// between modular reductions without overflowing u32 (zlib's NMAX).
 const ADLER_NMAX: usize = 5_552;
 const ADLER_MOD: u32 = 65_521;
 
-/// Fold `data` into a running Adler-32 state `(a, b)`; both components are
-/// left reduced mod 65521, so updates can be chained on arbitrary slices.
+/// Fold `data` into a running Adler-32 state `(a, b)` with the serial
+/// `a += x; b += a` recurrence — the retained scalar reference for the
+/// striped fast path. Both components are left reduced mod 65521, so
+/// updates can be chained on arbitrary slices.
 #[inline]
-fn adler32_update(a: &mut u32, b: &mut u32, data: &[u8]) {
+fn adler32_update_reference(a: &mut u32, b: &mut u32, data: &[u8]) {
     for chunk in data.chunks(ADLER_NMAX) {
         for &x in chunk {
             *a += x as u32;
@@ -83,10 +152,62 @@ fn adler32_update(a: &mut u32, b: &mut u32, data: &[u8]) {
     }
 }
 
+/// Fold `data` into a running Adler-32 state `(a, b)`, 8 stripes wide with
+/// deferred reduction. Identical results to [`adler32_update_reference`]:
+/// over one block of `m` bytes, `a' = a + Σ x[i]` and
+/// `b' = b + m·a + Σ (m − i)·x[i]`; with `i = 8j + l` the weighted sum
+/// splits per lane into `(m − l)·Σ_j x[8j+l] − 8·Σ_j j·x[8j+l]`, which the
+/// [`U32x8`] accumulators track without overflow (per-lane byte sums stay
+/// below 2²⁵ within an NMAX block) and the u64 recombination reduces mod
+/// 65521 once per block.
+#[inline]
+fn adler32_update(a: &mut u32, b: &mut u32, data: &[u8]) {
+    const M64: u64 = ADLER_MOD as u64;
+    for chunk in data.chunks(ADLER_NMAX) {
+        let m = chunk.len() as u64;
+        let main = chunk.len() - chunk.len() % 8;
+        let mut sum = U32x8::splat(0);
+        let mut jsum = U32x8::splat(0);
+        for (j, oct) in chunk[..main].chunks_exact(8).enumerate() {
+            let v = U32x8::from_bytes(oct);
+            sum = sum + v;
+            jsum = jsum + U32x8::splat(j as u32) * v;
+        }
+        let mut atot = *a as u64;
+        let mut btot = *b as u64 + m * (*a as u64);
+        if main > 0 {
+            // main > 0 implies m ≥ 8 > l, so m − l cannot underflow.
+            let sums = sum.to_array();
+            let jsums = jsum.to_array();
+            for (l, (&s, &js)) in sums.iter().zip(&jsums).enumerate() {
+                atot += s as u64;
+                // Non-negative: this equals Σ_j (m − 8j − l)·x[8j+l], and
+                // every position weight m − i is ≥ 1 inside the block.
+                btot += (m - l as u64) * s as u64 - 8 * js as u64;
+            }
+        }
+        for (k, &x) in chunk[main..].iter().enumerate() {
+            atot += x as u64;
+            btot += (m - (main + k) as u64) * x as u64;
+        }
+        *a = (atot % M64) as u32;
+        *b = (btot % M64) as u32;
+    }
+}
+
 /// Adler-32 checksum, as zlib requires.
 pub fn adler32(data: &[u8]) -> u32 {
     let (mut a, mut b) = (1u32, 0u32);
     adler32_update(&mut a, &mut b, data);
+    (b << 16) | a
+}
+
+/// Adler-32 via the retained serial recurrence — the golden the striped
+/// path is proptested against, and the baseline `native_bench` measures
+/// the `simd.adler32` speedup from.
+pub fn adler32_reference(data: &[u8]) -> u32 {
+    let (mut a, mut b) = (1u32, 0u32);
+    adler32_update_reference(&mut a, &mut b, data);
     (b << 16) | a
 }
 
@@ -388,6 +509,22 @@ mod tests {
     fn adler32_known_vectors() {
         assert_eq!(adler32(b""), 1);
         assert_eq!(adler32(b"Wikipedia"), 0x11E6_0398);
+    }
+
+    #[test]
+    fn fast_checksums_match_references_at_all_tail_lengths() {
+        // Lengths straddling the 8-byte stride and the NMAX reduction
+        // boundary, including every tail length 0..8.
+        let data: Vec<u8> = (0..20_000u32).map(|i| (i * 131 % 256) as u8).collect();
+        let mut lens: Vec<usize> = (0..=16).collect();
+        lens.extend([
+            5_551, 5_552, 5_553, 5_559, 5_560, 11_104, 11_105, 19_993, 20_000,
+        ]);
+        for &len in &lens {
+            let d = &data[..len];
+            assert_eq!(crc32(d), crc32_reference(d), "crc len {len}");
+            assert_eq!(adler32(d), adler32_reference(d), "adler len {len}");
+        }
     }
 
     #[test]

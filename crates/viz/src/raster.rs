@@ -1,5 +1,15 @@
 //! Image buffers and field resampling.
+//!
+//! The table-driven sampler stores its per-column data structure-of-arrays
+//! and runs its two per-pixel blends ([`SampleTables::new`]'s horizontal
+//! pass and [`SampleTables::shade_row`]'s vertical pass) four columns at a
+//! time through [`F64x4`] lanes. Both laned loops evaluate the exact
+//! per-element expression tree of the retained scalar goldens
+//! ([`SampleTables::new_reference`], [`rasterize_reference`]) with scalar
+//! tails for the last `width % 4` columns, so shaded pixels stay
+//! bit-identical — see DESIGN.md §8 for the rules.
 
+use ivis_lanes::F64x4;
 use ivis_ocean::Field2D;
 use rayon::prelude::*;
 
@@ -53,6 +63,12 @@ impl ImageBuffer {
         &self.pixels
     }
 
+    /// Mutable raw pixels, row-major — for renderers that reuse one
+    /// buffer across frames.
+    pub fn pixels_mut(&mut self) -> &mut [Rgb] {
+        &mut self.pixels
+    }
+
     /// Parallel mutable access to rows: `(y, row)` pairs.
     pub fn par_rows_mut(&mut self) -> impl IndexedParallelIterator<Item = (usize, &mut [Rgb])> {
         self.pixels.par_chunks_mut(self.width).enumerate()
@@ -98,13 +114,6 @@ pub fn sample_bilinear(field: &Field2D, fx: f64, fy: f64) -> f64 {
 }
 
 #[derive(Debug, Clone, Copy)]
-struct ColSample {
-    i0: usize,
-    i1: usize,
-    tx: f64,
-}
-
-#[derive(Debug, Clone, Copy)]
 struct RowSample {
     j0: usize,
     j1: usize,
@@ -123,9 +132,22 @@ struct RowSample {
 /// bit-identical to the naive path ([`rasterize_reference`]). Shared by
 /// [`rasterize`] and [`crate::compositing::render_distributed`], which is
 /// what makes the two bit-identical to each other.
+///
+/// Column data is stored structure-of-arrays (`i0` / `i1` / `tx` as three
+/// flat vectors) so the horizontal-blend build and the per-row vertical
+/// blend can run four columns per [`F64x4`] lane step with contiguous
+/// weight loads. Per element the laned loops perform exactly the scalar
+/// expression `v0·(1 − t) + v1·t`, so the tables — and every pixel shaded
+/// from them — are bit-identical to the scalar build (retained as
+/// [`SampleTables::new_reference`]).
 #[derive(Debug, Clone)]
 pub struct SampleTables {
-    cols: Vec<ColSample>,
+    /// Left source column per output column (wrapped in x).
+    i0: Vec<usize>,
+    /// Right source column per output column (wrapped in x).
+    i1: Vec<usize>,
+    /// Horizontal blend weight per output column.
+    tx: Vec<f64>,
     rows: Vec<RowSample>,
     /// Horizontal bilinear blend of every field row at every output column
     /// (`ny × width`, row-major). The horizontal blend depends only on the
@@ -133,26 +155,29 @@ pub struct SampleTables {
     /// `height / ny` output rows per field row it would otherwise be
     /// recomputed that many times over.
     hblend: Vec<f64>,
+    width: usize,
+    nx: usize,
+    ny: usize,
 }
 
 impl SampleTables {
-    /// Precompute the tables for rendering `field` at `width × height`.
-    pub fn new(field: &Field2D, width: usize, height: usize) -> Self {
+    /// Index/weight skeleton shared by [`SampleTables::new`] and
+    /// [`SampleTables::new_reference`]; `hblend` starts empty.
+    fn skeleton(field: &Field2D, width: usize, height: usize) -> Self {
         let (nx, ny) = (field.nx() as f64, field.ny() as f64);
         let nxi = field.nx() as isize;
         let nyi = field.ny() as isize;
-        let cols: Vec<ColSample> = (0..width)
-            .map(|x| {
-                let fx = (x as f64 + 0.5) / width as f64 * nx - 0.5;
-                let x0 = fx.floor();
-                let i0 = x0 as isize;
-                ColSample {
-                    i0: i0.rem_euclid(nxi) as usize,
-                    i1: (i0 + 1).rem_euclid(nxi) as usize,
-                    tx: fx - x0,
-                }
-            })
-            .collect();
+        let mut i0 = Vec::with_capacity(width);
+        let mut i1 = Vec::with_capacity(width);
+        let mut tx = Vec::with_capacity(width);
+        for x in 0..width {
+            let fx = (x as f64 + 0.5) / width as f64 * nx - 0.5;
+            let x0 = fx.floor();
+            let i = x0 as isize;
+            i0.push(i.rem_euclid(nxi) as usize);
+            i1.push((i + 1).rem_euclid(nxi) as usize);
+            tx.push(fx - x0);
+        }
         let rows = (0..height)
             .map(|y| {
                 // Flip vertically: image row 0 = field's top row.
@@ -166,31 +191,138 @@ impl SampleTables {
                 }
             })
             .collect();
+        SampleTables {
+            i0,
+            i1,
+            tx,
+            rows,
+            hblend: Vec::new(),
+            width,
+            nx: field.nx(),
+            ny: field.ny(),
+        }
+    }
+
+    /// Precompute the tables for rendering `field` at `width × height`.
+    pub fn new(field: &Field2D, width: usize, height: usize) -> Self {
+        let mut t = SampleTables::skeleton(field, width, height);
+        t.hblend.reserve(t.ny * width);
+        t.fill_hblend(field);
+        t
+    }
+
+    /// Scalar-build golden: the same tables via the original one-column-
+    /// at-a-time horizontal blend. Retained as the reference the laned
+    /// [`SampleTables::new`] is proptested against.
+    pub fn new_reference(field: &Field2D, width: usize, height: usize) -> Self {
+        let mut t = SampleTables::skeleton(field, width, height);
         let nxu = field.nx();
         let data = field.data();
         let mut hblend = Vec::with_capacity(field.ny() * width);
         for j in 0..field.ny() {
             let row = &data[j * nxu..j * nxu + nxu];
             hblend.extend(
-                cols.iter()
-                    .map(|c| row[c.i0] * (1.0 - c.tx) + row[c.i1] * c.tx),
+                (0..width).map(|x| row[t.i0[x]] * (1.0 - t.tx[x]) + row[t.i1[x]] * t.tx[x]),
             );
         }
-        SampleTables { cols, rows, hblend }
+        t.hblend = hblend;
+        t
+    }
+
+    /// True if these tables were built for this field shape at this
+    /// output resolution (i.e. [`SampleTables::rebuild`] is applicable).
+    pub fn matches(&self, field: &Field2D, width: usize, height: usize) -> bool {
+        self.nx == field.nx()
+            && self.ny == field.ny()
+            && self.width == width
+            && self.rows.len() == height
+    }
+
+    /// Refresh the baked field values for a new frame of the same shape,
+    /// reusing the index/weight tables and the `hblend` allocation.
+    ///
+    /// # Panics
+    /// Panics if `field` has different dimensions than the tables were
+    /// built for.
+    pub fn rebuild(&mut self, field: &Field2D) {
+        assert!(
+            self.nx == field.nx() && self.ny == field.ny(),
+            "rebuild requires the original field shape"
+        );
+        self.hblend.clear();
+        self.fill_hblend(field);
+    }
+
+    /// Append the horizontal blend of every field row to `self.hblend`,
+    /// four columns per lane step. Per element this is exactly the scalar
+    /// `row[i0]·(1 − tx) + row[i1]·tx`.
+    fn fill_hblend(&mut self, field: &Field2D) {
+        let nxu = field.nx();
+        let width = self.width;
+        let data = field.data();
+        let main = width - width % 4;
+        let mut lanes = [0.0f64; 4];
+        for j in 0..field.ny() {
+            let row = &data[j * nxu..j * nxu + nxu];
+            let mut x = 0;
+            while x < main {
+                let v0 = F64x4::gather(
+                    row,
+                    [self.i0[x], self.i0[x + 1], self.i0[x + 2], self.i0[x + 3]],
+                );
+                let v1 = F64x4::gather(
+                    row,
+                    [self.i1[x], self.i1[x + 1], self.i1[x + 2], self.i1[x + 3]],
+                );
+                let t = F64x4::from_slice(&self.tx[x..]);
+                let blended = v0 * (F64x4::splat(1.0) - t) + v1 * t;
+                blended.write_to(&mut lanes);
+                self.hblend.extend_from_slice(&lanes);
+                x += 4;
+            }
+            for x in main..width {
+                self.hblend
+                    .push(row[self.i0[x]] * (1.0 - self.tx[x]) + row[self.i1[x]] * self.tx[x]);
+            }
+        }
+    }
+
+    /// The baked horizontal-blend table (`ny × width`, row-major) — exposed
+    /// so benchmarks and identity tests can witness build equality.
+    pub fn hblend(&self) -> &[f64] {
+        &self.hblend
     }
 
     /// Shade image row `y` into `out` (one pixel per column). The field
     /// values are baked into the tables at construction, so only the
     /// vertical blend and the colormap run per pixel — with exactly the
-    /// same operations and ordering as [`sample_bilinear`].
+    /// same operations and ordering as [`sample_bilinear`]. The vertical
+    /// blend runs four columns per lane step (the weight `1 − ty` is
+    /// row-constant, so hoisting it changes nothing per element) with a
+    /// scalar tail.
     pub fn shade_row(&self, y: usize, colormap: Colormap, lo: f64, hi: f64, out: &mut [Rgb]) {
-        let width = self.cols.len();
+        let width = self.width;
         let RowSample { j0, j1, ty } = self.rows[y];
         let top_row = &self.hblend[j0 * width..j0 * width + width];
         let bot_row = &self.hblend[j1 * width..j1 * width + width];
-        for ((px, &top), &bot) in out.iter_mut().zip(top_row).zip(bot_row) {
-            let v = top * (1.0 - ty) + bot * ty;
-            *px = colormap.map(v, lo, hi);
+        let n = out.len().min(width);
+        let main = n - n % 4;
+        let tyv = F64x4::splat(ty);
+        let omt = F64x4::splat(1.0 - ty);
+        let mut lanes = [0.0f64; 4];
+        let mut x = 0;
+        while x < main {
+            let top = F64x4::from_slice(&top_row[x..]);
+            let bot = F64x4::from_slice(&bot_row[x..]);
+            (top * omt + bot * tyv).write_to(&mut lanes);
+            for (px, &v) in out[x..x + 4].iter_mut().zip(&lanes) {
+                *px = colormap.map(v, lo, hi);
+            }
+            x += 4;
+        }
+        for x in main..n {
+            let v = top_row[x] * (1.0 - ty) + bot_row[x] * ty;
+            out[x] = colormap.map(v, lo, hi);
         }
     }
 }
@@ -301,6 +433,28 @@ mod tests {
             let refr = rasterize_reference(&f, w, h, Colormap::OkuboWeiss, -1.5, 1.5);
             assert_eq!(fast, refr, "mismatch at {w}x{h}");
         }
+    }
+
+    #[test]
+    fn laned_table_build_matches_scalar_reference() {
+        let f = Field2D::from_fn(19, 11, |i, j| (i as f64 * 0.7).cos() + j as f64 * 0.01);
+        // Widths covering every lane tail 0..4.
+        for w in [1, 2, 3, 4, 5, 6, 7, 8, 31, 64] {
+            let fast = SampleTables::new(&f, w, 9);
+            let refr = SampleTables::new_reference(&f, w, 9);
+            assert_eq!(fast.hblend(), refr.hblend(), "hblend mismatch at w={w}");
+        }
+    }
+
+    #[test]
+    fn rebuild_refreshes_values_in_place() {
+        let f0 = Field2D::filled(8, 6, 1.0);
+        let f1 = Field2D::from_fn(8, 6, |i, j| (i + j) as f64);
+        let mut t = SampleTables::new(&f0, 24, 16);
+        assert!(t.matches(&f0, 24, 16));
+        assert!(!t.matches(&f0, 25, 16));
+        t.rebuild(&f1);
+        assert_eq!(t.hblend(), SampleTables::new(&f1, 24, 16).hblend());
     }
 
     #[test]

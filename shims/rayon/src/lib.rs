@@ -18,13 +18,18 @@
 //!    `min_grain` depends on the source shape (1024 elements for plain
 //!    slices and ranges, 1 for `par_chunks*` and `map`, whose items carry
 //!    unknown work).
-//! 2. **Work sharing.** The caller plus `min(current_num_threads(),
-//!    nchunks) - 1` pool workers pull `(chunk_index, chunk)` pairs from a
-//!    shared queue, so an unevenly loaded chunk does not stall the others.
-//!    With one thread (or one chunk) the chunks run inline on the caller
-//!    and the pool is never touched. While waiting for its helpers, the
-//!    caller drains other pending pool tasks, so nested parallel calls
-//!    cannot deadlock the pool.
+//! 2. **Work sharing with auto-granularity.** The caller plus
+//!    `min(current_num_threads(), nchunks) - 1` pool workers pull
+//!    `(chunk_index, chunk)` pairs from a shared queue, so an unevenly
+//!    loaded chunk does not stall the others. With one thread (or one
+//!    chunk) the chunks run inline on the caller and the pool is never
+//!    touched. Fine-grained fan-outs (more than two chunks per thread)
+//!    first run one chunk inline and *measure* it: if the whole remainder
+//!    is projected to cost less than the pool's measured dispatch
+//!    round-trip threshold, everything runs inline — placement changes,
+//!    chunk shape never does, so results are unaffected. While waiting for
+//!    its helpers, the caller drains other pending pool tasks, so nested
+//!    parallel calls cannot deadlock the pool.
 //! 3. **Index-ordered recombination.** Per-chunk results are sorted back
 //!    into chunk-index order before they are combined, so the combination
 //!    shape is identical no matter which thread ran which chunk.
@@ -446,6 +451,18 @@ where
 /// Chunk `src` by the fixed grain rule, process every chunk with `f`
 /// (across worker threads when it pays), and return the per-chunk results
 /// in chunk-index order.
+///
+/// ## Auto-granularity
+///
+/// Chunk *shape* is a function of the input length only, so results are
+/// bit-identical at every thread count — but chunk *placement* is free.
+/// When the fan-out is fine-grained (more than `2 × threads` chunks), the
+/// caller runs chunk 0 inline first and times it; if the measured rate
+/// says the whole remainder costs less than the pool's dispatch round-trip
+/// threshold ([`pool::sequential_threshold_ns`]), the rest runs inline too
+/// and the pool is never touched. Coarse fan-outs (≤ 2 chunks per thread,
+/// where one timed chunk would serialize a large fraction of the work)
+/// dispatch immediately as before.
 fn drive<S, R, F>(src: S, f: F) -> Vec<R>
 where
     S: Splittable,
@@ -459,25 +476,88 @@ where
     // Shape depends only on the input: identical at every thread count.
     let grain = len.div_ceil(TARGET_CHUNKS).max(src.min_grain()).max(1);
     let nchunks = len.div_ceil(grain);
+
+    let threads = current_num_threads().min(nchunks);
+    if threads <= 1 {
+        // Sequential path: run each split as it is produced. No parts
+        // buffer, so `for_each` (R = ()) performs zero heap allocations.
+        let mut out = Vec::with_capacity(nchunks);
+        let mut rest = src;
+        while rest.len() > grain {
+            let (head, tail) = rest.split_at(grain);
+            out.push(f(head));
+            rest = tail;
+        }
+        out.push(f(rest));
+        return out;
+    }
+
+    if nchunks > 2 * threads {
+        // Fine-grained fan-out: measure chunk 0 inline, then decide.
+        let (head, tail) = src.split_at(grain);
+        let t0 = std::time::Instant::now();
+        let r0 = f(head);
+        let d0 = t0.elapsed().as_nanos() as u64;
+        if d0.saturating_mul((nchunks - 1) as u64) < pool::sequential_threshold_ns() {
+            let mut out = Vec::with_capacity(nchunks);
+            out.push(r0);
+            let mut rest = tail;
+            while rest.len() > grain {
+                let (h, t) = rest.split_at(grain);
+                out.push(f(h));
+                rest = t;
+            }
+            out.push(f(rest));
+            return out;
+        }
+        let mut parts = Vec::with_capacity(nchunks - 1);
+        let mut rest = tail;
+        let mut idx = 1;
+        while rest.len() > grain {
+            let (h, t) = rest.split_at(grain);
+            parts.push((idx, h));
+            idx += 1;
+            rest = t;
+        }
+        parts.push((idx, rest));
+        return run_shared(parts, nchunks, threads, f, Some(r0));
+    }
+
+    // Coarse fan-out: dispatch immediately (timing one of ≤ 2·threads
+    // chunks inline first would serialize a large slice of the work).
     let mut parts = Vec::with_capacity(nchunks);
     let mut rest = src;
+    let mut idx = 0;
     while rest.len() > grain {
         let (head, tail) = rest.split_at(grain);
-        parts.push(head);
+        parts.push((idx, head));
+        idx += 1;
         rest = tail;
     }
-    parts.push(rest);
+    parts.push((idx, rest));
+    run_shared(parts, nchunks, threads, f, None)
+}
 
-    let threads = current_num_threads().min(parts.len());
-    if threads <= 1 {
-        return parts.into_iter().map(f).collect();
-    }
-
+/// Work-share pre-tagged `parts` between the caller and `threads - 1` pool
+/// helpers; `r0` is the result of chunk 0 if the caller already ran it
+/// inline. Returns all results in chunk-index order.
+fn run_shared<S, R, F>(
+    parts: Vec<(usize, S)>,
+    nchunks: usize,
+    threads: usize,
+    f: F,
+    r0: Option<R>,
+) -> Vec<R>
+where
+    S: Splittable,
+    R: Send,
+    F: Fn(S) -> R + Sync,
+{
     // Work sharing: the caller and `threads - 1` pool helpers pull
     // (index, chunk) pairs from a shared queue so stragglers don't
     // serialize the run; indices restore the order afterwards.
     let run = Run {
-        queue: Mutex::new(parts.into_iter().enumerate()),
+        queue: Mutex::new(parts.into_iter()),
         results: Mutex::new(Vec::with_capacity(nchunks)),
         panic: Mutex::new(None),
         pending: Mutex::new(threads - 1),
@@ -520,6 +600,9 @@ where
         std::panic::resume_unwind(payload);
     }
     let mut tagged = results.into_inner().unwrap();
+    if let Some(r0) = r0 {
+        tagged.push((0, r0));
+    }
     tagged.sort_unstable_by_key(|&(idx, _)| idx);
     tagged.into_iter().map(|(_, r)| r).collect()
 }
@@ -527,7 +610,7 @@ where
 /// Shared state of one in-flight `drive` call. Lives on the caller's
 /// stack; helpers reach it through an erased address (see [`pool`]).
 struct Run<S: Splittable, R, F> {
-    queue: Mutex<std::iter::Enumerate<std::vec::IntoIter<S>>>,
+    queue: Mutex<std::vec::IntoIter<(usize, S)>>,
     results: Mutex<Vec<(usize, R)>>,
     /// First panic payload from any chunk, re-thrown on the caller.
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,

@@ -17,7 +17,9 @@
 //! calls can never deadlock the pool.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Instant;
 
 /// A type-erased task: `call(data)` where `data` is an address the
 /// submitter guarantees stays valid until the task completes.
@@ -94,4 +96,51 @@ pub(crate) fn submit(want: usize, tasks: Vec<Task>) {
 /// other queued work through this instead of sleeping.
 pub(crate) fn try_pop() -> Option<Task> {
     shared().queue.lock().unwrap().pop_front()
+}
+
+static PROBE_DONE: AtomicUsize = AtomicUsize::new(0);
+
+/// No-op pool task used to measure one submit → run round-trip.
+unsafe fn probe_entry(_: usize) {
+    PROBE_DONE.store(1, Ordering::Release);
+}
+
+/// Estimated cost (ns) below which a whole fan-out is cheaper to run
+/// inline on the caller than to dispatch to pool workers.
+///
+/// Measured once per process: the median of five submit-one-no-op-task
+/// round-trips (queue push, worker wakeup, task run), clamped to
+/// [20 µs, 100 µs] to bound scheduler-noise outliers, times a ×32 safety
+/// factor — dispatch only pays once the work dwarfs its own coordination,
+/// and the penalty for inlining borderline cases is tiny while the penalty
+/// for dispatching sub-dispatch-cost grains is the fig9-style slowdown
+/// this threshold exists to remove. The wait loop *drains* the queue
+/// rather than spinning: on a one-core host the probe may run on the
+/// caller itself, which is exactly the round-trip cost that host would pay.
+pub(crate) fn sequential_threshold_ns() -> u64 {
+    static THRESHOLD: OnceLock<u64> = OnceLock::new();
+    *THRESHOLD.get_or_init(|| {
+        let mut samples = [0u64; 5];
+        for s in &mut samples {
+            PROBE_DONE.store(0, Ordering::SeqCst);
+            let t0 = Instant::now();
+            submit(
+                1,
+                vec![Task {
+                    data: 0,
+                    call: probe_entry,
+                }],
+            );
+            while PROBE_DONE.load(Ordering::Acquire) == 0 {
+                if let Some(task) = try_pop() {
+                    task.run();
+                    continue;
+                }
+                std::thread::yield_now();
+            }
+            *s = t0.elapsed().as_nanos() as u64;
+        }
+        samples.sort_unstable();
+        samples[2].clamp(20_000, 100_000) * 32
+    })
 }
