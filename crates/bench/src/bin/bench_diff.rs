@@ -335,45 +335,25 @@ fn usage() -> ! {
     exit(2);
 }
 
-fn main() {
-    let mut files = Vec::new();
-    let mut check = false;
-    let mut ratios_only = false;
-    let mut threshold = 10.0f64;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--check" => check = true,
-            "--ratios-only" => ratios_only = true,
-            "--threshold" => {
-                threshold = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
-            }
-            _ => files.push(arg),
-        }
-    }
-    if files.len() != 2 {
-        usage();
-    }
-    let read = |path: &str| -> BTreeMap<String, Leaf> {
-        let text =
-            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-        let mut out = BTreeMap::new();
-        flatten(&parse(&text), "", &mut out);
-        // The host is allowed to differ between generations.
-        out.retain(|k, _| !k.starts_with("host."));
-        out
-    };
-    let old = read(&files[0]);
-    let new = read(&files[1]);
-
+/// Compare baseline leaves against candidate leaves, printing the diff
+/// and returning `(unchanged_count, regressions)`. A baseline leaf
+/// *missing* from the candidate is always a regression — a renamed or
+/// dropped metric silently un-gates itself otherwise — regardless of
+/// `ratios_only` (shape is correctness, not a machine-bound quantity).
+fn compare(
+    old: &BTreeMap<String, Leaf>,
+    new: &BTreeMap<String, Leaf>,
+    threshold: f64,
+    ratios_only: bool,
+) -> (usize, Vec<String>) {
     let mut regressions = Vec::new();
     let mut unchanged = 0usize;
-    for (path, old_leaf) in &old {
+    for (path, old_leaf) in old {
         let Some(new_leaf) = new.get(path) else {
-            println!("- {path}: removed");
+            println!("- {path}: removed [MISSING LEAF]");
+            regressions.push(format!(
+                "{path}: present in baseline but missing from candidate"
+            ));
             continue;
         };
         match (old_leaf, new_leaf) {
@@ -415,6 +395,44 @@ fn main() {
             println!("+ {path}: added");
         }
     }
+    (unchanged, regressions)
+}
+
+fn main() {
+    let mut files = Vec::new();
+    let mut check = false;
+    let mut ratios_only = false;
+    let mut threshold = 10.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--ratios-only" => ratios_only = true,
+            "--threshold" => {
+                threshold = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            _ => files.push(arg),
+        }
+    }
+    if files.len() != 2 {
+        usage();
+    }
+    let read = |path: &str| -> BTreeMap<String, Leaf> {
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        let mut out = BTreeMap::new();
+        flatten(&parse(&text), "", &mut out);
+        // The host is allowed to differ between generations.
+        out.retain(|k, _| !k.starts_with("host."));
+        out
+    };
+    let old = read(&files[0]);
+    let new = read(&files[1]);
+
+    let (unchanged, regressions) = compare(&old, &new, threshold, ratios_only);
     println!(
         "compared {} leaves: {unchanged} unchanged, {} regression(s) \
          (threshold {threshold}%)",
@@ -495,5 +513,46 @@ mod tests {
     fn string_escapes_round_trip() {
         let out = leaves(r#"{ "d": "a\"b\\c\nd" }"#);
         assert_eq!(out.get("d"), Some(&Leaf::Str("a\"b\\c\nd".into())));
+    }
+
+    #[test]
+    fn missing_candidate_leaf_is_a_hard_failure() {
+        // A baseline metric vanishing from the candidate must regress —
+        // previously it printed "removed" and sailed through --check.
+        let old = leaves(r#"{ "rows": [ { "config": "a", "clean_s": 1.0, "fps": 5.0 } ] }"#);
+        let new = leaves(r#"{ "rows": [ { "config": "a", "clean_s": 1.0 } ] }"#);
+        let (_, regressions) = compare(&old, &new, 10.0, false);
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].contains("rows.a.fps"));
+        assert!(regressions[0].contains("missing from candidate"));
+    }
+
+    #[test]
+    fn missing_leaf_fails_even_under_ratios_only() {
+        // --ratios-only exempts machine-bound magnitudes, not shape: a
+        // dropped duration leaf is still a candidate defect.
+        let old = leaves(r#"{ "t": { "wall_s": 2.0 } }"#);
+        let new = leaves(r#"{ "t": {} }"#);
+        let (_, regressions) = compare(&old, &new, 10.0, true);
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].contains("t.wall_s"));
+    }
+
+    #[test]
+    fn added_leaves_and_equal_leaves_do_not_regress() {
+        let old = leaves(r#"{ "a_s": 1.0, "w": "digest" }"#);
+        let new = leaves(r#"{ "a_s": 1.0, "w": "digest", "b_s": 9.0 }"#);
+        let (unchanged, regressions) = compare(&old, &new, 10.0, false);
+        assert_eq!(unchanged, 2);
+        assert!(regressions.is_empty());
+    }
+
+    #[test]
+    fn witness_strings_still_gate_on_change() {
+        let old = leaves(r#"{ "digest": "aaaa" }"#);
+        let new = leaves(r#"{ "digest": "bbbb" }"#);
+        let (_, regressions) = compare(&old, &new, 10.0, true);
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].contains("witness changed"));
     }
 }

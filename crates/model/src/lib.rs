@@ -26,10 +26,13 @@
 //!   nodes × queue depth × compression ratio), measured and predicted.
 //! * [`validate`] — model-vs-measurement error reporting (Fig. 8).
 //! * [`whatif`] — the §VII scenario engine (Figs. 9 & 10, budget solvers).
+//! * [`query`] — canonical, memoizable what-if keys and the pure
+//!   evaluator behind the `ivis-serve` query service.
 
 pub mod calibrate;
 pub mod linalg;
 pub mod perf;
+pub mod query;
 pub mod scaling;
 pub mod sensitivity;
 pub mod staging;
@@ -40,5 +43,6 @@ pub mod whatif;
 
 pub use calibrate::{calibrate_exact, calibrate_least_squares};
 pub use perf::PerfModel;
+pub use query::{CurvePoint, SpecId, WhatIfAnswer, WhatIfRequest};
 pub use staging::{predict_staged_seconds, StagingPoint, StagingSweep};
 pub use whatif::WhatIfAnalyzer;

@@ -19,7 +19,7 @@ use crate::recorder::{Component, TraceBuffer};
 /// Fixed thread numbering for the Chrome export: every component maps to
 /// one synthetic thread, in this order, so tids never depend on which
 /// component happened to record first.
-const COMPONENTS: [Component; 7] = [
+const COMPONENTS: [Component; 8] = [
     Component::Campaign,
     Component::Compute,
     Component::Storage,
@@ -27,6 +27,7 @@ const COMPONENTS: [Component; 7] = [
     Component::Native,
     Component::Fault,
     Component::Transport,
+    Component::Serve,
 ];
 
 fn tid(c: Component) -> usize {

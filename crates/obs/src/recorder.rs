@@ -37,6 +37,8 @@ pub enum Component {
     Fault,
     /// The compute→staging transport (queue, link, compression).
     Transport,
+    /// The post-hoc query service (requests, batches, cache, shedding).
+    Serve,
 }
 
 impl Component {
@@ -50,6 +52,7 @@ impl Component {
             Component::Native => "native",
             Component::Fault => "fault",
             Component::Transport => "transport",
+            Component::Serve => "serve",
         }
     }
 }

@@ -1,0 +1,156 @@
+//! Memoization of what-if evaluations.
+//!
+//! [`WhatIfAnalyzer::answer`](ivis_model::WhatIfAnalyzer) is a pure
+//! function of a canonical [`WhatIfRequest`] key, so its rendered
+//! response body can be cached byte-for-byte. The cache is a bounded map
+//! with FIFO eviction — eviction order is the insertion order, never the
+//! map's internal order, so a replay of the same request sequence hits
+//! and evicts identically on every host and at every thread count.
+
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use ivis_model::WhatIfRequest;
+
+/// A bounded, counting memo table from canonical keys to rendered
+/// response bodies.
+#[derive(Debug, Default)]
+pub struct MemoCache {
+    capacity: usize,
+    map: HashMap<WhatIfRequest, Rc<Vec<u8>>>,
+    order: VecDeque<WhatIfRequest>,
+    hits: u64,
+    misses: u64,
+}
+
+impl MemoCache {
+    /// A cache holding at most `capacity` bodies. Zero disables
+    /// memoization (every lookup misses, nothing is stored) — the
+    /// "cold" configuration the benchmark compares against.
+    pub fn new(capacity: usize) -> Self {
+        MemoCache {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(4096)),
+            order: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up a key, counting the outcome.
+    pub fn get(&mut self, key: &WhatIfRequest) -> Option<Rc<Vec<u8>>> {
+        match self.map.get(key) {
+            Some(v) => {
+                self.hits += 1;
+                Some(Rc::clone(v))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a freshly evaluated body, evicting the oldest insertion
+    /// when full. A no-op at capacity zero.
+    pub fn insert(&mut self, key: WhatIfRequest, body: Rc<Vec<u8>>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.insert(key, body).is_none() {
+            self.order.push_back(key);
+            while self.order.len() > self.capacity {
+                let evicted = self.order.pop_front().expect("order tracks map");
+                self.map.remove(&evicted);
+            }
+        }
+    }
+
+    /// Lookups that found a body.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that did not.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Bodies currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Hit fraction over all lookups so far (0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivis_core::PipelineKind;
+    use ivis_model::SpecId;
+
+    fn key(h: f64) -> WhatIfRequest {
+        WhatIfRequest::new(SpecId::Paper100yr, PipelineKind::InSitu, h, 4).unwrap()
+    }
+
+    fn body(s: &str) -> Rc<Vec<u8>> {
+        Rc::new(s.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn hit_miss_counting_and_round_trip() {
+        let mut c = MemoCache::new(8);
+        assert!(c.get(&key(1.0)).is_none());
+        c.insert(key(1.0), body("a"));
+        assert_eq!(c.get(&key(1.0)).unwrap().as_slice(), b"a");
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eviction_is_fifo_in_insertion_order() {
+        let mut c = MemoCache::new(2);
+        c.insert(key(1.0), body("a"));
+        c.insert(key(2.0), body("b"));
+        c.insert(key(3.0), body("c")); // evicts key(1.0)
+        assert!(c.get(&key(1.0)).is_none());
+        assert!(c.get(&key(2.0)).is_some());
+        assert!(c.get(&key(3.0)).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_memoization() {
+        let mut c = MemoCache::new(0);
+        c.insert(key(1.0), body("a"));
+        assert!(c.get(&key(1.0)).is_none());
+        assert!(c.is_empty());
+        assert_eq!(c.hits(), 0);
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_duplicate_order() {
+        let mut c = MemoCache::new(2);
+        c.insert(key(1.0), body("a"));
+        c.insert(key(1.0), body("a2"));
+        c.insert(key(2.0), body("b"));
+        c.insert(key(3.0), body("c"));
+        // key(1.0) was the oldest single entry; it must be the one gone.
+        assert!(c.get(&key(1.0)).is_none());
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -1,0 +1,253 @@
+//! A minimal, deterministic HTTP/1.1 surface.
+//!
+//! The reactor exchanges real request/response bytes — the parser here
+//! is what stands between the simulated TCP stream and the typed query
+//! layer, and the serializer is what the response digests witness.
+//! Scope is deliberately small: `GET` only, path + query string, headers
+//! parsed but uninterpreted (the service is stateless), no percent
+//! decoding (the query vocabulary is plain ASCII), bodies ignored.
+//! Serialization is byte-deterministic: fixed header order, fixed float
+//! formatting upstream, `\r\n` line endings.
+
+use std::fmt::Write as _;
+
+/// Why a request failed to parse — reported as a 400 body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HttpError {
+    /// The request line was not `METHOD TARGET HTTP/1.x`.
+    BadRequestLine,
+    /// The method was not `GET`.
+    UnsupportedMethod,
+    /// A header line had no `:` separator.
+    BadHeader,
+    /// The head never terminated with an empty line.
+    Truncated,
+    /// The bytes were not ASCII-clean where the grammar requires it.
+    NotAscii,
+}
+
+impl HttpError {
+    /// Stable label used in 400 bodies and counters.
+    pub fn label(self) -> &'static str {
+        match self {
+            HttpError::BadRequestLine => "bad request line",
+            HttpError::UnsupportedMethod => "unsupported method",
+            HttpError::BadHeader => "bad header",
+            HttpError::Truncated => "truncated head",
+            HttpError::NotAscii => "non-ascii head",
+        }
+    }
+}
+
+/// A parsed request head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Path portion of the target, e.g. `/whatif`.
+    pub path: String,
+    /// Decoded `key=value` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
+}
+
+impl HttpRequest {
+    /// First value for `key`, if present.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parse a request head from raw bytes.
+pub fn parse_request(bytes: &[u8]) -> Result<HttpRequest, HttpError> {
+    let head = std::str::from_utf8(bytes).map_err(|_| HttpError::NotAscii)?;
+    let end = head.find("\r\n\r\n").ok_or(HttpError::Truncated)?;
+    let mut lines = head[..end].split("\r\n");
+    let request_line = lines.next().ok_or(HttpError::BadRequestLine)?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().ok_or(HttpError::BadRequestLine)?;
+    let target = parts.next().ok_or(HttpError::BadRequestLine)?;
+    let version = parts.next().ok_or(HttpError::BadRequestLine)?;
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequestLine);
+    }
+    if method != "GET" {
+        return Err(HttpError::UnsupportedMethod);
+    }
+    for line in lines {
+        if !line.is_empty() && !line.contains(':') {
+            return Err(HttpError::BadHeader);
+        }
+    }
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (kv.to_string(), String::new()),
+        })
+        .collect();
+    Ok(HttpRequest {
+        path: path.to_string(),
+        query,
+    })
+}
+
+/// A response ready to serialize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code (200, 400, 404, 503).
+    pub status: u16,
+    /// Content type header value.
+    pub content_type: &'static str,
+    /// `Retry-After` seconds, emitted only on 503.
+    pub retry_after_s: Option<u32>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// 200 with a JSON body.
+    pub fn ok_json(body: String) -> Self {
+        HttpResponse {
+            status: 200,
+            content_type: "application/json",
+            retry_after_s: None,
+            body: body.into_bytes(),
+        }
+    }
+
+    /// 200 with a PNG body.
+    pub fn ok_png(body: Vec<u8>) -> Self {
+        HttpResponse {
+            status: 200,
+            content_type: "image/png",
+            retry_after_s: None,
+            body,
+        }
+    }
+
+    /// 400 with the parse/validation error as the body.
+    pub fn bad_request(why: &str) -> Self {
+        HttpResponse {
+            status: 400,
+            content_type: "text/plain",
+            retry_after_s: None,
+            body: format!("bad request: {why}\n").into_bytes(),
+        }
+    }
+
+    /// 404 with a plain-text body.
+    pub fn not_found(what: &str) -> Self {
+        HttpResponse {
+            status: 404,
+            content_type: "text/plain",
+            retry_after_s: None,
+            body: format!("not found: {what}\n").into_bytes(),
+        }
+    }
+
+    /// Typed 503: the backpressure response, carrying the shed reason
+    /// and a deterministic `Retry-After`.
+    pub fn unavailable(reason: &str, retry_after_s: u32) -> Self {
+        HttpResponse {
+            status: 503,
+            content_type: "text/plain",
+            retry_after_s: Some(retry_after_s),
+            body: format!("overloaded: {reason}\n").into_bytes(),
+        }
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serialize deterministically (fixed header order).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut head = String::with_capacity(96);
+        let _ = write!(head, "HTTP/1.1 {} {}\r\n", self.status, self.reason());
+        let _ = write!(head, "Content-Type: {}\r\n", self.content_type);
+        let _ = write!(head, "Content-Length: {}\r\n", self.body.len());
+        if let Some(s) = self.retry_after_s {
+            let _ = write!(head, "Retry-After: {s}\r\n");
+        }
+        head.push_str("\r\n");
+        let mut out = head.into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// Build the raw bytes of a GET request — the load generator's emitter.
+pub fn format_get(target: &str) -> Vec<u8> {
+    format!("GET {target} HTTP/1.1\r\nHost: ivis-serve\r\n\r\n").into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_path_and_query() {
+        let raw = format_get("/whatif?spec=100yr&kind=insitu&rate_hours=24&points=33");
+        let req = parse_request(&raw).unwrap();
+        assert_eq!(req.path, "/whatif");
+        assert_eq!(req.param("spec"), Some("100yr"));
+        assert_eq!(req.param("rate_hours"), Some("24"));
+        assert_eq!(req.param("missing"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_heads() {
+        assert_eq!(
+            parse_request(b"BORK\r\n\r\n"),
+            Err(HttpError::BadRequestLine)
+        );
+        assert_eq!(
+            parse_request(b"POST /x HTTP/1.1\r\n\r\n"),
+            Err(HttpError::UnsupportedMethod)
+        );
+        assert_eq!(
+            parse_request(b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(HttpError::BadHeader)
+        );
+        assert_eq!(
+            parse_request(b"GET /x HTTP/1.1\r\n"),
+            Err(HttpError::Truncated)
+        );
+        assert_eq!(
+            parse_request(b"GET /x FTP/1.1\r\n\r\n"),
+            Err(HttpError::BadRequestLine)
+        );
+    }
+
+    #[test]
+    fn responses_serialize_deterministically() {
+        let a = HttpResponse::ok_json("{\"x\":1}".to_string()).to_bytes();
+        let b = HttpResponse::ok_json("{\"x\":1}".to_string()).to_bytes();
+        assert_eq!(a, b);
+        let text = String::from_utf8(a).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 7\r\n"));
+        assert!(text.ends_with("{\"x\":1}"));
+    }
+
+    #[test]
+    fn unavailable_carries_retry_after() {
+        let text =
+            String::from_utf8(HttpResponse::unavailable("queue full", 2).to_bytes()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 2\r\n"));
+        assert!(text.contains("overloaded: queue full"));
+    }
+}

@@ -1,0 +1,1005 @@
+//! The deterministic query reactor.
+//!
+//! [`Server::run_load`] replays a [`LoadSchedule`](crate::load::LoadSchedule)
+//! through a discrete-event reactor built on
+//! [`DesEngine`](ivis_sim::DesEngine): client arrivals, micro-batch
+//! deadlines and service completions are events on simulated time, while
+//! the *work* each event does — HTTP parsing, what-if model evaluation,
+//! sharded frame lookup, response serialization — is real computation on
+//! real bytes. Service durations are charged from an explicit integer
+//! [`CostModel`], so the latency distribution is a pure function of the
+//! schedule and the configuration: bit-identical on every host and at
+//! every shim thread count, which is what the CI gates compare.
+//!
+//! Production concerns are first-class:
+//!
+//! * **batching** — what-if requests gather in a bounded micro-batch
+//!   window ([`Batcher`]); duplicate keys inside one batch share a
+//!   single evaluation;
+//! * **memoization** — evaluated bodies land in a bounded FIFO
+//!   [`MemoCache`] keyed on the canonical
+//!   [`WhatIfRequest`](ivis_model::WhatIfRequest) tuple;
+//! * **backpressure** — a bounded connection budget and a bounded
+//!   service queue; beyond either, requests are shed with a typed 503
+//!   (`Retry-After` set, reason in the body and the counters) without
+//!   ever touching in-flight batches;
+//! * **observability** — per-request spans, latency histograms, queue
+//!   depth gauges and cache hit/shed counters through `ivis-obs`, so the
+//!   PR 6 Perfetto/Prometheus exporters work unchanged.
+
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use ivis_model::{SpecId, WhatIfAnalyzer, WhatIfRequest};
+use ivis_obs::{AttrValue, Component, Recorder, SpanId};
+use ivis_sim::{DesEngine, EventHandle, SimDuration, SimTime};
+use ivis_viz::CinemaDatabase;
+
+use crate::batch::{BatchAdd, Batcher, ClosedBatch};
+use crate::cache::MemoCache;
+use crate::http::{format_get, parse_request, HttpRequest, HttpResponse};
+use crate::load::LoadSchedule;
+use crate::shard::ShardedFrameIndex;
+
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Simulated service costs, all integer microseconds (or bytes per
+/// microsecond), so charged durations never depend on float rounding.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Parsing + routing one request head.
+    pub parse_us: u64,
+    /// Evaluating one curve point of a cold what-if query.
+    pub whatif_point_us: u64,
+    /// Serving a memoized (or batch-deduplicated) what-if body.
+    pub memo_hit_us: u64,
+    /// One sharded index probe.
+    pub frame_probe_us: u64,
+    /// Fixed dispatch cost of one service batch.
+    pub batch_overhead_us: u64,
+    /// Egress bandwidth: response bytes pushed per microsecond.
+    pub response_bytes_per_us: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            parse_us: 2,
+            whatif_point_us: 40,
+            memo_hit_us: 8,
+            frame_probe_us: 12,
+            batch_overhead_us: 20,
+            response_bytes_per_us: 10_000,
+        }
+    }
+}
+
+impl CostModel {
+    fn body_us(&self, bytes: usize) -> u64 {
+        bytes as u64 / self.response_bytes_per_us.max(1)
+    }
+}
+
+/// Server provisioning and policy.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Concurrent service executors (batches or single requests in
+    /// service at once).
+    pub service_slots: usize,
+    /// Pending work units the queue holds before shedding.
+    pub queue_capacity: usize,
+    /// Admitted requests in flight before connection shedding.
+    pub max_connections: usize,
+    /// Micro-batch window: a what-if batch flushes this long after its
+    /// first member arrives, unless it fills first.
+    pub batch_window: SimDuration,
+    /// Members that fill (and immediately flush) a batch.
+    pub max_batch: usize,
+    /// Memo-cache capacity in bodies; 0 disables memoization.
+    pub cache_capacity: usize,
+    /// Shards in the frame index.
+    pub shards: usize,
+    /// Simulated service costs.
+    pub cost: CostModel,
+    /// `Retry-After` seconds stamped on 503 responses.
+    pub retry_after_s: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            service_slots: 8,
+            queue_capacity: 64,
+            max_connections: 65_536,
+            batch_window: SimDuration::from_micros(200),
+            max_batch: 64,
+            cache_capacity: 4_096,
+            shards: 16,
+            cost: CostModel::default(),
+            retry_after_s: 1,
+        }
+    }
+}
+
+/// Why a request was shed with a 503.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The connection budget was exhausted at arrival.
+    Connections,
+    /// The service queue was full when the work unit was submitted.
+    QueueFull,
+}
+
+impl ShedReason {
+    /// Stable label used in 503 bodies and trace events.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShedReason::Connections => "connection budget exhausted",
+            ShedReason::QueueFull => "queue full",
+        }
+    }
+}
+
+/// Latency class a finished request is accounted under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// `/whatif` — model evaluations (batched).
+    WhatIf,
+    /// `/frame` — Cinema lookups.
+    Frame,
+    /// `/healthz`, 400s and 404s.
+    Other,
+    /// 503 sheds.
+    Shed,
+}
+
+impl Class {
+    const COUNT: usize = 4;
+
+    fn index(self) -> usize {
+        match self {
+            Class::WhatIf => 0,
+            Class::Frame => 1,
+            Class::Other => 2,
+            Class::Shed => 3,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Class::WhatIf => "whatif",
+            Class::Frame => "frame",
+            Class::Other => "other",
+            Class::Shed => "shed",
+        }
+    }
+}
+
+/// Counters a load run accumulates — the digestible half of the report.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeStats {
+    /// Requests that arrived.
+    pub requests: u64,
+    /// 200 responses.
+    pub ok: u64,
+    /// 400 responses.
+    pub bad_requests: u64,
+    /// 404 responses.
+    pub not_found: u64,
+    /// 503s from the connection budget.
+    pub shed_connections: u64,
+    /// 503s from the full queue.
+    pub shed_queue: u64,
+    /// Memo-cache hits.
+    pub cache_hits: u64,
+    /// Memo-cache misses.
+    pub cache_misses: u64,
+    /// Duplicate keys resolved inside a single batch.
+    pub batch_dedups: u64,
+    /// Batches serviced.
+    pub batches: u64,
+    /// Largest batch fill seen.
+    pub max_batch_fill: usize,
+    /// Deepest the service queue got.
+    pub max_queue_depth: usize,
+    /// Most admitted requests in flight at once.
+    pub max_in_flight: usize,
+    /// Order-sensitive FNV-1a over `(request id, response bytes)` in
+    /// completion order — the replay witness.
+    pub stream_digest: u64,
+    /// Order-independent sum of per-request digests — comparable across
+    /// configurations that reorder completions (e.g. cold vs memoized).
+    pub content_digest: u64,
+}
+
+impl ServeStats {
+    /// Total 503s.
+    pub fn shed(&self) -> u64 {
+        self.shed_connections + self.shed_queue
+    }
+
+    /// A stable one-line rendering of every counter plus both digests,
+    /// used for bit-identity comparisons across thread counts, hosts
+    /// and process runs.
+    pub fn digest(&self) -> String {
+        format!(
+            "req={} ok={} bad={} nf={} shed_conn={} shed_q={} hits={} misses={} dedup={} \
+             batches={} fill={} qdepth={} inflight={} stream={:016x} content={:016x}",
+            self.requests,
+            self.ok,
+            self.bad_requests,
+            self.not_found,
+            self.shed_connections,
+            self.shed_queue,
+            self.cache_hits,
+            self.cache_misses,
+            self.batch_dedups,
+            self.batches,
+            self.max_batch_fill,
+            self.max_queue_depth,
+            self.max_in_flight,
+            self.stream_digest,
+            self.content_digest,
+        )
+    }
+}
+
+/// Deterministic latency summary for one class.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ClassStats {
+    /// Requests finished in this class.
+    pub count: u64,
+    /// Median latency, microseconds of simulated time.
+    pub p50_us: u64,
+    /// 99th-percentile latency.
+    pub p99_us: u64,
+    /// Worst latency.
+    pub max_us: u64,
+}
+
+impl ClassStats {
+    fn from_sorted(mut lat: Vec<u64>) -> ClassStats {
+        lat.sort_unstable();
+        let pick = |q: f64| -> u64 {
+            if lat.is_empty() {
+                0
+            } else {
+                lat[((lat.len() - 1) as f64 * q).round() as usize]
+            }
+        };
+        ClassStats {
+            count: lat.len() as u64,
+            p50_us: pick(0.50),
+            p99_us: pick(0.99),
+            max_us: lat.last().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Everything one load replay produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Counter totals and digests.
+    pub stats: ServeStats,
+    /// Latency summary per class (`whatif`, `frame`, `other`, `shed`).
+    pub whatif: ClassStats,
+    /// Frame-lookup latencies.
+    pub frame: ClassStats,
+    /// Health/400/404 latencies.
+    pub other: ClassStats,
+    /// Shed (503) latencies.
+    pub shed: ClassStats,
+    /// Simulated time of the last completion.
+    pub makespan: SimDuration,
+    /// Completed requests per simulated second.
+    pub sim_qps: f64,
+    /// Full response bytes per request id, kept only when requested
+    /// (tests); `None` in benchmark runs to bound memory.
+    pub responses: Option<Vec<Option<Vec<u8>>>>,
+}
+
+impl LoadReport {
+    /// Fraction of requests shed, 0..=1.
+    pub fn shed_fraction(&self) -> f64 {
+        if self.stats.requests == 0 {
+            0.0
+        } else {
+            self.stats.shed() as f64 / self.stats.requests as f64
+        }
+    }
+
+    /// The stats digest plus per-class percentiles — one comparable line.
+    pub fn digest(&self) -> String {
+        format!(
+            "{} | whatif p50={} p99={} | frame p50={} p99={} | shed n={} | makespan_us={}",
+            self.stats.digest(),
+            self.whatif.p50_us,
+            self.whatif.p99_us,
+            self.frame.p50_us,
+            self.frame.p99_us,
+            self.shed.count,
+            self.makespan.as_micros(),
+        )
+    }
+}
+
+/// A parsed-and-routed request, stored at arrival, consumed at service.
+#[derive(Debug, Clone)]
+enum Routed {
+    WhatIf(WhatIfRequest),
+    Frame {
+        timestep: u64,
+    },
+    Health,
+    /// Pre-built 400/404 response.
+    Immediate(HttpResponse),
+}
+
+/// Route a parsed HTTP request onto the query surface.
+fn route(req: &HttpRequest) -> Routed {
+    match req.path.as_str() {
+        "/healthz" => Routed::Health,
+        "/whatif" => {
+            let spec = match SpecId::parse(req.param("spec").unwrap_or("100yr")) {
+                Some(id) => id,
+                None => return Routed::Immediate(HttpResponse::bad_request("unknown spec")),
+            };
+            let kind = match req.param("kind").unwrap_or("insitu") {
+                "insitu" => ivis_core::PipelineKind::InSitu,
+                "post" => ivis_core::PipelineKind::PostProcessing,
+                _ => return Routed::Immediate(HttpResponse::bad_request("unknown kind")),
+            };
+            let rate: f64 = match req.param("rate_hours").and_then(|v| v.parse().ok()) {
+                Some(r) => r,
+                None => return Routed::Immediate(HttpResponse::bad_request("bad rate_hours")),
+            };
+            let points: u16 = match req.param("points").unwrap_or("33").parse() {
+                Ok(p) if (1..=512).contains(&p) => p,
+                _ => return Routed::Immediate(HttpResponse::bad_request("bad points")),
+            };
+            match WhatIfRequest::new(spec, kind, rate, points) {
+                Some(key) => Routed::WhatIf(key),
+                None => Routed::Immediate(HttpResponse::bad_request("unrepresentable rate")),
+            }
+        }
+        "/frame" => match req.param("timestep").and_then(|v| v.parse().ok()) {
+            Some(ts) => Routed::Frame { timestep: ts },
+            None => Routed::Immediate(HttpResponse::bad_request("bad timestep")),
+        },
+        _ => Routed::Immediate(HttpResponse::not_found("no such route")),
+    }
+}
+
+/// Render the JSON body of a what-if answer. Byte-deterministic: fixed
+/// field order, fixed float formatting.
+pub fn render_whatif_body(analyzer: &WhatIfAnalyzer, key: &WhatIfRequest) -> Vec<u8> {
+    use std::fmt::Write as _;
+    let ans = analyzer.answer(key);
+    let mut out = String::with_capacity(128 + ans.curve.len() * 72);
+    let _ = write!(
+        out,
+        "{{\"spec\":\"{}\",\"kind\":\"{}\",\"rate_hours\":{:.6},\"storage_bytes\":{},\
+         \"exec_seconds\":{:.9e},\"energy_joules\":{:.9e},\"saving_pct\":{:.6},\"curve\":[",
+        key.spec.label(),
+        key.kind.label(),
+        key.rate_hours(),
+        ans.storage_bytes,
+        ans.exec_seconds,
+        ans.energy_joules,
+        ans.saving_pct,
+    );
+    for (i, p) in ans.curve.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}{{\"hours\":{:.6},\"energy_joules\":{:.9e},\"storage_bytes\":{}}}",
+            if i == 0 { "" } else { "," },
+            p.hours,
+            p.energy_joules,
+            p.storage_bytes,
+        );
+    }
+    out.push_str("]}");
+    out.into_bytes()
+}
+
+/// The reference response bytes for a what-if key — what any 200 from
+/// `/whatif` must equal byte-for-byte, memoized or not. Tests use this
+/// to prove shedding and caching never corrupt content.
+pub fn expected_whatif_response(analyzer: &WhatIfAnalyzer, key: &WhatIfRequest) -> Vec<u8> {
+    HttpResponse::ok_json(String::from_utf8(render_whatif_body(analyzer, key)).unwrap()).to_bytes()
+}
+
+/// The query service: analyzer constants, the frame database and its
+/// sharded index, and the provisioning config. Immutable across runs —
+/// every [`Server::run_load`] replay starts from the same state.
+pub struct Server {
+    config: ServerConfig,
+    analyzer: WhatIfAnalyzer,
+    db: CinemaDatabase,
+    index: ShardedFrameIndex,
+}
+
+/// Reactor events.
+enum ServeEvent {
+    /// Client `i` (schedule index) arrives.
+    Arrival(u32),
+    /// The micro-batch window for batch `id` expired.
+    BatchDeadline(u64),
+    /// A service unit finished; deliver its responses.
+    Completion(Vec<(u32, u16, Vec<u8>)>),
+}
+
+struct ReqState {
+    arrival: SimTime,
+    span: SpanId,
+    routed: Option<Routed>,
+}
+
+struct World<'a> {
+    cfg: &'a ServerConfig,
+    analyzer: &'a WhatIfAnalyzer,
+    db: &'a CinemaDatabase,
+    index: &'a ShardedFrameIndex,
+    schedule: &'a [(SimTime, Vec<u8>)],
+    rec: &'a Recorder,
+    cache: MemoCache,
+    batcher: Batcher,
+    open_deadline: Option<(u64, EventHandle)>,
+    queue: VecDeque<Work>,
+    free_slots: usize,
+    in_flight: usize,
+    req: Vec<ReqState>,
+    latencies: [Vec<u64>; Class::COUNT],
+    stats: ServeStats,
+    last_completion: SimTime,
+    completed: u64,
+    responses: Option<Vec<Option<Vec<u8>>>>,
+}
+
+enum Work {
+    Single(u32),
+    Batch(ClosedBatch),
+}
+
+impl Server {
+    /// Build a server over `db` with `config`.
+    pub fn new(config: ServerConfig, analyzer: WhatIfAnalyzer, db: CinemaDatabase) -> Self {
+        let index = ShardedFrameIndex::build(&db, config.shards);
+        Server {
+            config,
+            analyzer,
+            db,
+            index,
+        }
+    }
+
+    /// The provisioning config.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// The backing frame database.
+    pub fn db(&self) -> &CinemaDatabase {
+        &self.db
+    }
+
+    /// The analyzer this server evaluates what-if queries with.
+    pub fn analyzer(&self) -> &WhatIfAnalyzer {
+        &self.analyzer
+    }
+
+    /// Replay `schedule` through the reactor. `recorder` may be
+    /// [`Recorder::off`]; `keep_responses` retains every response's
+    /// bytes in the report (tests only — memory scales with the
+    /// schedule).
+    pub fn run_load(
+        &self,
+        schedule: &LoadSchedule,
+        recorder: &Recorder,
+        keep_responses: bool,
+    ) -> LoadReport {
+        let mut engine: DesEngine<ServeEvent> =
+            DesEngine::with_capacity(schedule.arrivals.len().min(1 << 16) + 8);
+        let mut world = World {
+            cfg: &self.config,
+            analyzer: &self.analyzer,
+            db: &self.db,
+            index: &self.index,
+            schedule: &schedule.arrivals,
+            rec: recorder,
+            cache: MemoCache::new(self.config.cache_capacity),
+            batcher: Batcher::new(self.config.max_batch),
+            open_deadline: None,
+            queue: VecDeque::new(),
+            free_slots: self.config.service_slots.max(1),
+            in_flight: 0,
+            req: Vec::with_capacity(schedule.arrivals.len()),
+            latencies: std::array::from_fn(|_| Vec::new()),
+            stats: ServeStats::default(),
+            last_completion: SimTime::ZERO,
+            completed: 0,
+            responses: keep_responses.then(|| vec![None; schedule.arrivals.len()]),
+        };
+        for (i, (t, _)) in schedule.arrivals.iter().enumerate() {
+            world.req.push(ReqState {
+                arrival: *t,
+                span: SpanId::NONE,
+                routed: None,
+            });
+            engine.schedule_at(*t, ServeEvent::Arrival(i as u32));
+        }
+        engine.run(
+            &mut |eng: &mut DesEngine<ServeEvent>, at: SimTime, ev: ServeEvent| {
+                world.on_event(eng, at, ev)
+            },
+        );
+        debug_assert_eq!(world.in_flight, 0, "every admitted request must finish");
+        world.finish()
+    }
+}
+
+impl World<'_> {
+    fn on_event(&mut self, eng: &mut DesEngine<ServeEvent>, at: SimTime, ev: ServeEvent) {
+        match ev {
+            ServeEvent::Arrival(i) => self.on_arrival(eng, at, i),
+            ServeEvent::BatchDeadline(id) => {
+                if self
+                    .open_deadline
+                    .as_ref()
+                    .is_some_and(|(open, _)| *open == id)
+                {
+                    self.open_deadline = None;
+                }
+                if let Some(batch) = self.batcher.close_deadline(id) {
+                    self.submit(eng, at, Work::Batch(batch));
+                }
+            }
+            ServeEvent::Completion(responses) => self.on_completion(eng, at, responses),
+        }
+    }
+
+    fn on_arrival(&mut self, eng: &mut DesEngine<ServeEvent>, at: SimTime, i: u32) {
+        self.stats.requests += 1;
+        self.rec.counter_add(at, "serve.requests", 1.0);
+        if self.in_flight >= self.cfg.max_connections {
+            self.stats.shed_connections += 1;
+            self.shed_response(at, i, ShedReason::Connections);
+            return;
+        }
+        self.in_flight += 1;
+        self.stats.max_in_flight = self.stats.max_in_flight.max(self.in_flight);
+        let span = self.rec.span(at, "request", Component::Serve);
+        self.req[i as usize].span = span;
+        let routed = match parse_request(&self.schedule[i as usize].1) {
+            Ok(http) => route(&http),
+            Err(e) => Routed::Immediate(HttpResponse::bad_request(e.label())),
+        };
+        self.rec.set_attr(
+            span,
+            "class",
+            AttrValue::Str(match routed {
+                Routed::WhatIf(_) => "whatif",
+                Routed::Frame { .. } => "frame",
+                _ => "other",
+            }),
+        );
+        self.req[i as usize].routed = Some(routed.clone());
+        match routed {
+            Routed::WhatIf(_) => match self.batcher.add(i) {
+                BatchAdd::Opened(id) => {
+                    let handle =
+                        eng.schedule_in(self.cfg.batch_window, ServeEvent::BatchDeadline(id));
+                    self.open_deadline = Some((id, handle));
+                }
+                BatchAdd::Joined => {}
+                BatchAdd::Full(batch) => {
+                    if let Some((id, handle)) = self.open_deadline.take() {
+                        debug_assert_eq!(id, batch.id, "deadline tracks the open batch");
+                        eng.cancel(handle);
+                    }
+                    self.submit(eng, at, Work::Batch(batch));
+                }
+            },
+            _ => self.submit(eng, at, Work::Single(i)),
+        }
+    }
+
+    fn submit(&mut self, eng: &mut DesEngine<ServeEvent>, at: SimTime, work: Work) {
+        if self.free_slots > 0 {
+            self.start(eng, at, work);
+        } else if self.queue.len() < self.cfg.queue_capacity {
+            self.queue.push_back(work);
+            self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.queue.len());
+            self.rec
+                .gauge_set(at, "serve.queue_depth", self.queue.len() as f64);
+            self.rec
+                .histogram_record(at, "serve.queue_depth_dist", self.queue.len() as f64);
+        } else {
+            // Shedding affects only the rejected unit: in-flight batches
+            // and queued work are untouched.
+            let members: Vec<u32> = match work {
+                Work::Single(i) => vec![i],
+                Work::Batch(b) => b.members,
+            };
+            for m in members {
+                self.stats.shed_queue += 1;
+                self.in_flight -= 1;
+                self.shed_response(at, m, ShedReason::QueueFull);
+            }
+        }
+    }
+
+    fn start(&mut self, eng: &mut DesEngine<ServeEvent>, at: SimTime, work: Work) {
+        debug_assert!(self.free_slots > 0);
+        self.free_slots -= 1;
+        let cost = &self.cfg.cost;
+        let mut responses: Vec<(u32, u16, Vec<u8>)> = Vec::new();
+        let mut service_us: u64;
+        match work {
+            Work::Single(i) => {
+                service_us = cost.parse_us;
+                let resp = match self.req[i as usize]
+                    .routed
+                    .clone()
+                    .expect("routed at arrival")
+                {
+                    Routed::Frame { timestep } => {
+                        service_us += cost.frame_probe_us;
+                        match self.index.lookup(self.db, timestep) {
+                            Some(entry) => HttpResponse::ok_png(entry.data.clone()),
+                            None => HttpResponse::not_found("frame"),
+                        }
+                    }
+                    Routed::Health => HttpResponse::ok_json("{\"status\":\"ok\"}".to_string()),
+                    Routed::Immediate(resp) => resp,
+                    Routed::WhatIf(_) => unreachable!("what-if work is always batched"),
+                };
+                let bytes = resp.to_bytes();
+                service_us += cost.body_us(bytes.len());
+                responses.push((i, resp.status, bytes));
+            }
+            Work::Batch(batch) => {
+                self.stats.batches += 1;
+                self.stats.max_batch_fill = self.stats.max_batch_fill.max(batch.members.len());
+                self.rec.counter_add(at, "serve.batches", 1.0);
+                service_us = cost.batch_overhead_us + cost.parse_us * batch.members.len() as u64;
+                // Unique keys in first-seen order; duplicates share the
+                // first member's evaluation (batch-local dedup).
+                let mut unique: Vec<WhatIfRequest> = Vec::new();
+                let mut member_keys: Vec<WhatIfRequest> = Vec::with_capacity(batch.members.len());
+                for &m in &batch.members {
+                    let Some(Routed::WhatIf(key)) = self.req[m as usize].routed.as_ref() else {
+                        unreachable!("batch members are what-if requests")
+                    };
+                    member_keys.push(*key);
+                    if !unique.contains(key) {
+                        unique.push(*key);
+                    }
+                }
+                self.stats.batch_dedups += (batch.members.len() - unique.len()) as u64;
+                let mut bodies: Vec<(WhatIfRequest, Rc<Vec<u8>>)> =
+                    Vec::with_capacity(unique.len());
+                for key in &unique {
+                    match self.cache.get(key) {
+                        Some(body) => {
+                            self.stats.cache_hits += 1;
+                            self.rec.counter_add(at, "serve.cache_hits", 1.0);
+                            service_us += cost.memo_hit_us;
+                            bodies.push((*key, body));
+                        }
+                        None => {
+                            self.stats.cache_misses += 1;
+                            self.rec.counter_add(at, "serve.cache_misses", 1.0);
+                            service_us += key.curve_points as u64 * cost.whatif_point_us;
+                            // The answer itself evaluates its sweep curve
+                            // through the deterministic parallel iterators.
+                            let body = Rc::new(render_whatif_body(self.analyzer, key));
+                            self.cache.insert(*key, Rc::clone(&body));
+                            bodies.push((*key, body));
+                        }
+                    }
+                }
+                for (&m, key) in batch.members.iter().zip(&member_keys) {
+                    let body = &bodies
+                        .iter()
+                        .find(|(k, _)| k == key)
+                        .expect("every member key was resolved")
+                        .1;
+                    let resp = HttpResponse::ok_json(
+                        String::from_utf8(body.as_ref().clone()).expect("json bodies are utf-8"),
+                    );
+                    let bytes = resp.to_bytes();
+                    service_us += cost.body_us(bytes.len());
+                    responses.push((m, resp.status, bytes));
+                }
+                // Duplicate members pay the hit cost for their shared body.
+                service_us += cost.memo_hit_us * (batch.members.len() - unique.len()) as u64;
+            }
+        }
+        eng.schedule_in(
+            SimDuration::from_micros(service_us),
+            ServeEvent::Completion(responses),
+        );
+    }
+
+    fn on_completion(
+        &mut self,
+        eng: &mut DesEngine<ServeEvent>,
+        at: SimTime,
+        responses: Vec<(u32, u16, Vec<u8>)>,
+    ) {
+        for (i, status, bytes) in responses {
+            let class = match (status, &self.req[i as usize].routed) {
+                (200, Some(Routed::WhatIf(_))) => Class::WhatIf,
+                (200 | 404, Some(Routed::Frame { .. })) => Class::Frame,
+                _ => Class::Other,
+            };
+            match status {
+                200 => self.stats.ok += 1,
+                400 => self.stats.bad_requests += 1,
+                404 => self.stats.not_found += 1,
+                _ => {}
+            }
+            self.in_flight -= 1;
+            self.finalize(at, i, class, &bytes);
+        }
+        self.free_slots += 1;
+        if let Some(work) = self.queue.pop_front() {
+            self.rec
+                .gauge_set(at, "serve.queue_depth", self.queue.len() as f64);
+            self.start(eng, at, work);
+        }
+    }
+
+    /// Build and account a 503 immediately (no service slot consumed).
+    fn shed_response(&mut self, at: SimTime, i: u32, reason: ShedReason) {
+        self.rec.counter_add(at, "serve.shed", 1.0);
+        self.rec.event(
+            at,
+            "shed",
+            Component::Serve,
+            &[("reason", AttrValue::Str(reason.label()))],
+        );
+        let bytes = HttpResponse::unavailable(reason.label(), self.cfg.retry_after_s).to_bytes();
+        self.finalize(at, i, Class::Shed, &bytes);
+    }
+
+    fn finalize(&mut self, at: SimTime, i: u32, class: Class, bytes: &[u8]) {
+        let state = &self.req[i as usize];
+        let latency_us = at.duration_since(state.arrival).as_micros();
+        self.latencies[class.index()].push(latency_us);
+        self.rec
+            .histogram_record(at, "serve.request_seconds", latency_us as f64 / 1e6);
+        self.rec
+            .set_attr(state.span, "class_final", AttrValue::Str(class.label()));
+        self.rec.close(at, state.span);
+        self.stats.stream_digest = fnv1a(
+            fnv1a(self.stats.stream_digest ^ FNV_OFFSET, &i.to_le_bytes()),
+            bytes,
+        );
+        self.stats.content_digest = self
+            .stats
+            .content_digest
+            .wrapping_add(fnv1a(fnv1a(FNV_OFFSET, &i.to_le_bytes()), bytes));
+        if let Some(store) = &mut self.responses {
+            store[i as usize] = Some(bytes.to_vec());
+        }
+        self.last_completion = self.last_completion.max(at);
+        self.completed += 1;
+    }
+
+    fn finish(self) -> LoadReport {
+        let makespan = self.last_completion.duration_since(SimTime::ZERO);
+        let secs = makespan.as_secs_f64();
+        let sim_qps = if secs > 0.0 {
+            self.completed as f64 / secs
+        } else {
+            0.0
+        };
+        let [a, b, c, d] = self.latencies;
+        LoadReport {
+            whatif: ClassStats::from_sorted(a),
+            frame: ClassStats::from_sorted(b),
+            other: ClassStats::from_sorted(c),
+            shed: ClassStats::from_sorted(d),
+            stats: self.stats,
+            makespan,
+            sim_qps,
+            responses: self.responses,
+        }
+    }
+}
+
+/// Convenience: the raw bytes of a canonical what-if GET — the inverse
+/// of the `/whatif` route, used by the load generator and tests.
+pub fn whatif_target(key: &WhatIfRequest) -> Vec<u8> {
+    let kind = match key.kind {
+        ivis_core::PipelineKind::InSitu => "insitu",
+        ivis_core::PipelineKind::PostProcessing => "post",
+    };
+    format_get(&format!(
+        "/whatif?spec={}&kind={}&rate_hours={:.6}&points={}",
+        key.spec.label(),
+        kind,
+        key.rate_hours(),
+        key.curve_points
+    ))
+}
+
+/// The raw bytes of a frame GET.
+pub fn frame_target(timestep: u64) -> Vec<u8> {
+    format_get(&format!("/frame?timestep={timestep}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::LoadSchedule;
+
+    fn server(cache: usize) -> Server {
+        let cfg = ServerConfig {
+            cache_capacity: cache,
+            ..ServerConfig::default()
+        };
+        Server::new(
+            cfg,
+            WhatIfAnalyzer::paper(),
+            CinemaDatabase::synthetic("t", 32, 4, 4, 16),
+        )
+    }
+
+    fn schedule_of(targets: Vec<Vec<u8>>) -> LoadSchedule {
+        LoadSchedule {
+            arrivals: targets
+                .into_iter()
+                .enumerate()
+                .map(|(i, b)| (SimTime::from_micros(10 * i as u64), b))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn whatif_responses_match_the_reference_bytes() {
+        let srv = server(64);
+        let key = WhatIfRequest::new(SpecId::Paper100yr, ivis_core::PipelineKind::InSitu, 24.0, 5)
+            .unwrap();
+        let sched = schedule_of(vec![whatif_target(&key), whatif_target(&key)]);
+        let report = srv.run_load(&sched, &Recorder::off(), true);
+        let expected = expected_whatif_response(&srv.analyzer, &key);
+        let responses = report.responses.unwrap();
+        assert_eq!(responses[0].as_ref().unwrap(), &expected);
+        assert_eq!(responses[1].as_ref().unwrap(), &expected);
+        // Same batch, same key: one evaluation, one dedup.
+        assert_eq!(report.stats.cache_misses, 1);
+        assert_eq!(report.stats.batch_dedups, 1);
+        assert_eq!(report.stats.ok, 2);
+    }
+
+    #[test]
+    fn frame_lookups_return_the_stored_png() {
+        let srv = server(64);
+        let sched = schedule_of(vec![frame_target(16), frame_target(17)]);
+        let report = srv.run_load(&sched, &Recorder::off(), true);
+        let responses = report.responses.unwrap();
+        let ok = responses[0].as_ref().unwrap();
+        assert!(ok.starts_with(b"HTTP/1.1 200 OK\r\n"));
+        let entry = srv.db().entry_by_timestep(16).unwrap();
+        assert!(ok.ends_with(entry.data.as_slice()));
+        assert!(responses[1].as_ref().unwrap().starts_with(b"HTTP/1.1 404"));
+        assert_eq!(report.stats.not_found, 1);
+    }
+
+    #[test]
+    fn memoization_shortens_whatif_latency() {
+        let key = WhatIfRequest::new(
+            SpecId::Paper100yr,
+            ivis_core::PipelineKind::PostProcessing,
+            12.0,
+            129,
+        )
+        .unwrap();
+        // Space requests beyond the batch window so each is its own batch.
+        let arrivals: Vec<(SimTime, Vec<u8>)> = (0..20)
+            .map(|i| (SimTime::from_micros(i * 5_000), whatif_target(&key)))
+            .collect();
+        let sched = LoadSchedule { arrivals };
+        let cold = server(0).run_load(&sched, &Recorder::off(), false);
+        let warm = server(512).run_load(&sched, &Recorder::off(), false);
+        assert_eq!(cold.stats.cache_misses, 20);
+        assert_eq!(warm.stats.cache_misses, 1);
+        assert!(
+            warm.whatif.p50_us * 10 <= cold.whatif.p50_us,
+            "memo hit ({} us) must be >=10x faster than cold ({} us)",
+            warm.whatif.p50_us,
+            cold.whatif.p50_us
+        );
+        // Same bytes either way.
+        assert_eq!(cold.stats.content_digest, warm.stats.content_digest);
+    }
+
+    #[test]
+    fn malformed_and_unknown_requests_get_4xx() {
+        let srv = server(8);
+        let sched = schedule_of(vec![
+            b"BORK\r\n\r\n".to_vec(),
+            format_get("/nope"),
+            format_get("/whatif?rate_hours=abc"),
+            format_get("/healthz"),
+        ]);
+        let report = srv.run_load(&sched, &Recorder::off(), true);
+        let responses = report.responses.unwrap();
+        assert!(responses[0].as_ref().unwrap().starts_with(b"HTTP/1.1 400"));
+        assert!(responses[1].as_ref().unwrap().starts_with(b"HTTP/1.1 404"));
+        assert!(responses[2].as_ref().unwrap().starts_with(b"HTTP/1.1 400"));
+        assert!(responses[3].as_ref().unwrap().starts_with(b"HTTP/1.1 200"));
+        assert_eq!(report.stats.bad_requests, 2);
+    }
+
+    #[test]
+    fn connection_budget_sheds_with_typed_503() {
+        let cfg = ServerConfig {
+            max_connections: 2,
+            service_slots: 1,
+            ..ServerConfig::default()
+        };
+        let srv = Server::new(
+            cfg,
+            WhatIfAnalyzer::paper(),
+            CinemaDatabase::synthetic("t", 8, 4, 4, 16),
+        );
+        // Four frame requests in the same microsecond: slots=1 and
+        // max_connections=2 mean at least one must shed.
+        let arrivals: Vec<(SimTime, Vec<u8>)> = (0..4)
+            .map(|_| (SimTime::from_micros(1), frame_target(16)))
+            .collect();
+        let report = srv.run_load(&LoadSchedule { arrivals }, &Recorder::off(), true);
+        assert!(report.stats.shed_connections > 0);
+        let responses = report.responses.unwrap();
+        let shed = responses
+            .iter()
+            .flatten()
+            .find(|r| r.starts_with(b"HTTP/1.1 503"))
+            .expect("a 503 response exists");
+        let text = String::from_utf8(shed.to_vec()).unwrap();
+        assert!(text.contains("Retry-After: 1"));
+        assert!(text.contains("connection budget exhausted"));
+        // Every arrival got exactly one response.
+        assert_eq!(responses.iter().flatten().count(), 4);
+    }
+
+    #[test]
+    fn replay_is_bit_identical() {
+        let srv = server(128);
+        let mut targets = Vec::new();
+        for i in 0..40u64 {
+            if i % 3 == 0 {
+                targets.push(frame_target(16 * (i % 8)));
+            } else {
+                let key = WhatIfRequest::new(
+                    SpecId::Paper60km,
+                    ivis_core::PipelineKind::InSitu,
+                    (i % 5 + 1) as f64,
+                    9,
+                )
+                .unwrap();
+                targets.push(whatif_target(&key));
+            }
+        }
+        let sched = schedule_of(targets);
+        let a = srv.run_load(&sched, &Recorder::off(), false);
+        let b = srv.run_load(&sched, &Recorder::off(), false);
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+    }
+}

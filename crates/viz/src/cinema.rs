@@ -79,6 +79,61 @@ impl CinemaDatabase {
         self.entries.len()
     }
 
+    /// The entry captured at exactly `timestep`, if any.
+    ///
+    /// Every executor appends frames in strictly increasing timestep
+    /// order, so this is a binary search — the accessor sharded image
+    /// indexes build on without re-sorting the database.
+    pub fn entry_by_timestep(&self, timestep: u64) -> Option<&CinemaEntry> {
+        self.entries
+            .binary_search_by_key(&timestep, |e| e.timestep)
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
+    /// The `(first, last)` timesteps stored, or `None` when empty.
+    pub fn timestep_range(&self) -> Option<(u64, u64)> {
+        match (self.entries.first(), self.entries.last()) {
+            (Some(a), Some(b)) => Some((a.timestep, b.timestep)),
+            _ => None,
+        }
+    }
+
+    /// A deterministic synthetic database for serving benchmarks and
+    /// tests: `frames` images of `width x height`, one per `steps_per_frame`
+    /// timesteps, each with content that varies by frame (a moving
+    /// two-band gradient) so entries differ byte-for-byte. Purely a
+    /// function of the arguments — same call, same bytes, any host.
+    pub fn synthetic(
+        name: impl Into<String>,
+        frames: u64,
+        width: usize,
+        height: usize,
+        steps_per_frame: u64,
+    ) -> Self {
+        let mut db = CinemaDatabase::new(name);
+        let mut img = ImageBuffer::new(width, height);
+        for f in 0..frames {
+            for y in 0..height {
+                for x in 0..width {
+                    let phase = (x as u64 + y as u64 * 3 + f * 7) % 256;
+                    img.set(
+                        x,
+                        y,
+                        crate::color::Rgb {
+                            r: phase as u8,
+                            g: (y * 255 / height.max(1)) as u8,
+                            b: (f % 251) as u8,
+                        },
+                    );
+                }
+            }
+            let ts = f * steps_per_frame;
+            db.add_image(ts, ts as f64 * 0.5, &img);
+        }
+        db
+    }
+
     /// `true` iff no images have been added.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
@@ -211,6 +266,37 @@ mod tests {
         let on_disk = std::fs::read(dir.join("ts_00000001.png")).unwrap();
         assert_eq!(on_disk, db.entries()[1].data);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn timestep_lookup_finds_only_stored_frames() {
+        let mut db = CinemaDatabase::new("lookup");
+        for ts in [0u64, 16, 32, 48] {
+            db.add_image(ts, ts as f64 / 2.0, &img(2, 2));
+        }
+        assert_eq!(
+            db.entry_by_timestep(32).unwrap().filename,
+            "ts_00000032.png"
+        );
+        assert!(db.entry_by_timestep(33).is_none());
+        assert_eq!(db.timestep_range(), Some((0, 48)));
+        assert_eq!(CinemaDatabase::new("e").timestep_range(), None);
+    }
+
+    #[test]
+    fn synthetic_database_is_deterministic_and_distinct() {
+        let a = CinemaDatabase::synthetic("s", 8, 6, 4, 16);
+        let b = CinemaDatabase::synthetic("s", 8, 6, 4, 16);
+        assert_eq!(a.len(), 8);
+        for (x, y) in a.entries().iter().zip(b.entries()) {
+            assert_eq!(x.data, y.data, "same arguments, same bytes");
+        }
+        assert_ne!(
+            a.entries()[0].data,
+            a.entries()[1].data,
+            "frames differ in content"
+        );
+        assert_eq!(a.entries()[3].timestep, 48);
     }
 
     #[test]

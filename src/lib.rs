@@ -14,6 +14,7 @@ pub use ivis_fault as fault;
 pub use ivis_model as model;
 pub use ivis_ocean as ocean;
 pub use ivis_power as power;
+pub use ivis_serve as serve;
 pub use ivis_sim as sim;
 pub use ivis_storage as storage;
 pub use ivis_viz as viz;
