@@ -3,7 +3,7 @@
 //! ```text
 //! experiments [all|fig2|fig3|fig4|fig5|fig6|fig7|eq5|fig8|fig9|fig10|
 //!              proportionality|ablations|extensions|csv [dir]|intransit|
-//!              fault|native|trace [insitu|post] [hours]|
+//!              fault|native|adaptive|trace [insitu|post] [hours]|
 //!              power-trace [insitu|post] [hours]|table1]
 //! ```
 //!
@@ -224,6 +224,58 @@ fn native() {
     );
 }
 
+fn adaptive() {
+    use ivis_bench::adaptive::AdaptiveComparison;
+
+    banner("Adaptive triggers — rate as a dynamic output vs the fixed 72 h rate");
+    let c = AdaptiveComparison::default_scenario();
+    println!(
+        "  trigger : {} candidates, analysis every {} steps, interval band [{}, {}]",
+        c.trigger.candidates,
+        c.trigger.analysis_interval,
+        c.trigger.min_interval,
+        c.trigger.max_interval
+    );
+    println!("  decision |  step | emit | interval | activity | best view | entropy (bits)");
+    for (i, d) in c.adaptive.decisions.iter().enumerate() {
+        println!(
+            "  {i:>8} | {:>5} | {:>4} | {:>8} | {:>8.3} | {:>9} | {:>6.3}",
+            d.step,
+            if d.emit { "yes" } else { "-" },
+            d.interval_steps,
+            d.activity,
+            d.best_viewpoint,
+            d.best_entropy_bits
+        );
+    }
+    println!(
+        "  measured: {} frames over {} steps → effective interval {:.1} steps \
+         ({:.2}x the fixed rate)",
+        c.adaptive.frames,
+        c.adaptive.total_steps,
+        c.adaptive.effective_interval_steps(),
+        c.rate_ratio
+    );
+    println!("  priced on the paper's 60 km problem (Eq. 4 + measured rate):");
+    println!(
+        "    energy : adaptive {:.3} GJ vs fixed {:.3} GJ ({:.1} % saving)",
+        c.adaptive_energy_gj,
+        c.fixed_energy_gj,
+        (1.0 - c.adaptive_energy_gj / c.fixed_energy_gj) * 100.0
+    );
+    println!(
+        "    storage: adaptive {:.4} GB vs fixed {:.4} GB ({:.1} % saving)",
+        c.adaptive_storage_gb,
+        c.fixed_storage_gb,
+        (1.0 - c.adaptive_storage_gb / c.fixed_storage_gb) * 100.0
+    );
+    println!(
+        "    recall : adaptive {} vs fixed {} eddy tracks",
+        c.adaptive_recall, c.fixed_recall
+    );
+    println!("  gate: {}", c.gate_summary());
+}
+
 fn trace(args: &[String]) {
     use ivis_bench::obs_export::{config_label, render_trace_summary, trace_jsonl, traced_run};
     use ivis_cluster::IoWaitPolicy;
@@ -362,6 +414,7 @@ fn main() {
         "intransit" => intransit(),
         "fault" => fault(),
         "native" => native(),
+        "adaptive" => adaptive(),
         "trace" => trace(&args[1..]),
         "power-trace" => power_trace(&args[1..]),
         "table1" => table1(),
@@ -383,11 +436,12 @@ fn main() {
             intransit();
             fault();
             native();
+            adaptive();
         }
         other => {
             eprintln!("unknown experiment: {other}");
             eprintln!(
-                "usage: experiments [all|fig2..fig10|eq5|proportionality|ablations|extensions|csv [dir]|intransit|fault|native|trace [insitu|post] [hours]|power-trace [insitu|post] [hours]|table1]"
+                "usage: experiments [all|fig2..fig10|eq5|proportionality|ablations|extensions|csv [dir]|intransit|fault|native|adaptive|trace [insitu|post] [hours]|power-trace [insitu|post] [hours]|table1]"
             );
             std::process::exit(2);
         }

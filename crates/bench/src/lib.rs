@@ -6,6 +6,7 @@
 //! prints them; the criterion benches under `benches/` time the underlying
 //! machinery; the integration tests assert the shapes.
 
+pub mod adaptive;
 pub mod csv;
 pub mod obs_export;
 

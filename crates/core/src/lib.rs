@@ -34,6 +34,7 @@
 //! phase spans) into sampled W(t) [`ivis_obs::telemetry::PowerTimeline`]s
 //! at a configurable cadence — the paper's per-minute PDU view.
 
+pub mod adaptive;
 pub mod adaptor;
 pub mod campaign;
 pub mod config;
@@ -45,6 +46,10 @@ pub mod resilience;
 pub mod telemetry;
 pub mod transport;
 
+pub use adaptive::{
+    run_native_adaptive, run_native_adaptive_sequential, run_native_adaptive_sequential_with,
+    run_native_adaptive_with, AdaptiveReport,
+};
 pub use adaptor::{CatalystAdaptor, VizSnapshot};
 pub use campaign::{Campaign, CampaignConfig};
 pub use config::{PipelineConfig, PipelineKind};

@@ -59,6 +59,7 @@ use ivis_viz::CinemaDatabase;
 use rayon::prelude::*;
 
 use crate::adaptor::{CatalystAdaptor, VizSnapshot};
+use crate::resilience::PipelineError;
 
 /// Configuration of a native run.
 #[derive(Debug, Clone)]
@@ -119,7 +120,7 @@ impl NativeConfig {
         }
     }
 
-    fn build_model(&self) -> ShallowWaterModel {
+    pub(crate) fn build_model(&self) -> ShallowWaterModel {
         let grid = Grid::channel(self.nx, self.ny, self.cell_m);
         let params = SwParams::eddy_channel(&grid);
         let mut m = ShallowWaterModel::new(grid, params);
@@ -175,25 +176,25 @@ impl NativeReport {
 /// same trace schema, Gantt renderer and timeline tooling work on real
 /// runs. Phase spans are recorded after the fact, once their duration is
 /// known.
-struct WallTracer<'a> {
+pub(crate) struct WallTracer<'a> {
     rec: &'a Recorder,
     elapsed: Duration,
 }
 
 impl<'a> WallTracer<'a> {
-    fn new(rec: &'a Recorder) -> Self {
+    pub(crate) fn new(rec: &'a Recorder) -> Self {
         WallTracer {
             rec,
             elapsed: Duration::ZERO,
         }
     }
 
-    fn now(&self) -> SimTime {
+    pub(crate) fn now(&self) -> SimTime {
         SimTime::from_secs_f64(self.elapsed.as_secs_f64())
     }
 
     /// Record that `phase` just ran for `took` of wall time.
-    fn phase(&mut self, phase: JobPhase, took: Duration) {
+    pub(crate) fn phase(&mut self, phase: JobPhase, took: Duration) {
         let start = self.now();
         self.elapsed += took;
         if self.rec.is_on() {
@@ -203,7 +204,7 @@ impl<'a> WallTracer<'a> {
     }
 }
 
-fn tracker_for(grid: &Grid) -> EddyTracker {
+pub(crate) fn tracker_for(grid: &Grid) -> EddyTracker {
     let (lx, _) = grid.extent();
     // Gate: eddies drift slowly; half a basin-width per frame is plenty.
     EddyTracker::new(6.0 * grid.dx, 2, lx)
@@ -348,7 +349,7 @@ pub fn default_pipeline_depth() -> usize {
 }
 
 /// Open the native backend's root span with the run's shape.
-fn open_native_root(rec: &Recorder, cfg: &NativeConfig, kind: &'static str) -> SpanId {
+pub(crate) fn open_native_root(rec: &Recorder, cfg: &NativeConfig, kind: &'static str) -> SpanId {
     let root = rec.span(SimTime::ZERO, "native", Component::Native);
     rec.set_attr(root, "kind", AttrValue::Str(kind));
     rec.set_attr(root, "nx", AttrValue::U64(cfg.nx as u64));
@@ -358,7 +359,7 @@ fn open_native_root(rec: &Recorder, cfg: &NativeConfig, kind: &'static str) -> S
 }
 
 /// Record one rendered frame: event plus frame/eddy counters.
-fn note_frame(rec: &Recorder, t: SimTime, frame: u64, census: &FrameCensus) {
+pub(crate) fn note_frame(rec: &Recorder, t: SimTime, frame: u64, census: &FrameCensus) {
     if !rec.is_on() {
         return;
     }
@@ -751,29 +752,62 @@ fn encode_raw(snap: &VizSnapshot) -> Vec<u8> {
     f.encode().to_vec()
 }
 
-/// Decode a raw file back into a [`VizSnapshot`].
-fn decode_raw(bytes: &[u8]) -> VizSnapshot {
-    let f = NcFile::decode(bytes).expect("self-produced file must parse");
-    let ny = f.dims[0].1 as usize;
-    let nx = f.dims[1].1 as usize;
-    let to_field = |name: &str| -> Field2D {
-        let var = f.var(name).expect("variable present");
+/// Decode a raw file back into a [`VizSnapshot`]. Every way the bytes
+/// can disappoint — truncation, a missing variable or attribute, a
+/// wrong dtype, a shape that doesn't match the declared dims — comes
+/// back as a typed [`PipelineError::CorruptFrame`] instead of a panic,
+/// so one bad file fails one frame, not the whole campaign.
+fn decode_raw(frame: u64, bytes: &[u8]) -> Result<VizSnapshot, PipelineError> {
+    let corrupt = |detail: String| PipelineError::CorruptFrame { frame, detail };
+    let f = NcFile::decode(bytes).map_err(|e| corrupt(format!("decode failed: {e}")))?;
+    let ny = f
+        .dims
+        .first()
+        .ok_or_else(|| corrupt("missing y dimension".into()))?
+        .1 as usize;
+    let nx = f
+        .dims
+        .get(1)
+        .ok_or_else(|| corrupt("missing x dimension".into()))?
+        .1 as usize;
+    let to_field = |name: &str| -> Result<Field2D, PipelineError> {
+        let var = f
+            .var(name)
+            .ok_or_else(|| corrupt(format!("variable {name:?} missing")))?;
         let data = match &var.data {
-            VarData::F64(xs) => xs.clone(),
-            other => panic!("expected f64 data, got {other:?}"),
+            VarData::F64(xs) => xs,
+            other => {
+                return Err(corrupt(format!(
+                    "variable {name:?}: expected f64 data, got {other:?}"
+                )))
+            }
         };
+        if data.len() != nx * ny {
+            return Err(corrupt(format!(
+                "variable {name:?}: {} values for a {nx}×{ny} grid",
+                data.len()
+            )));
+        }
         let mut field = Field2D::zeros(nx, ny);
-        field.data_mut().copy_from_slice(&data);
-        field
+        field.data_mut().copy_from_slice(data);
+        Ok(field)
     };
-    VizSnapshot {
-        timestep: f.attr("timestep").expect("attr").parse().expect("number"),
-        sim_hours: f.attr("sim_hours").expect("attr").parse().expect("number"),
-        ssh: to_field("ssh"),
-        uc: to_field("uc"),
-        vc: to_field("vc"),
-        okubo_weiss: to_field("W"),
-    }
+    let attr = |name: &str| -> Result<&str, PipelineError> {
+        f.attr(name)
+            .ok_or_else(|| corrupt(format!("attribute {name:?} missing")))
+    };
+    Ok(VizSnapshot {
+        timestep: attr("timestep")?
+            .parse()
+            .map_err(|e| corrupt(format!("attribute \"timestep\" unparsable: {e}")))?,
+        sim_hours: attr("sim_hours")?
+            .parse()
+            .map_err(|e| corrupt(format!("attribute \"sim_hours\" unparsable: {e}")))?,
+        ssh: to_field("ssh")?,
+        uc: to_field("uc")?,
+        vc: to_field("vc")?,
+        okubo_weiss: to_field("W")?,
+    })
 }
 
 /// Run the post-processing pipeline natively: simulate and write raw ncdf
@@ -785,7 +819,25 @@ pub fn run_native_postproc(cfg: &NativeConfig) -> NativeReport {
 /// [`run_native_postproc`] with a trace recorder. Raw-file encodes are
 /// traced as write phases and the stage-2 decodes as read phases, so the
 /// exported timeline shows the paper's two-stage structure.
+///
+/// The raw store is produced and consumed inside this call, so decode
+/// failures are impossible by construction; the fallible surface for
+/// callers holding their own bytes is [`try_run_native_postproc`].
 pub fn run_native_postproc_with(cfg: &NativeConfig, rec: &Recorder) -> NativeReport {
+    try_run_native_postproc_with(cfg, rec).expect("self-produced raw files always decode")
+}
+
+/// [`run_native_postproc`], surfacing stage-2 decode failures as typed
+/// [`PipelineError::CorruptFrame`] errors instead of panicking.
+pub fn try_run_native_postproc(cfg: &NativeConfig) -> Result<NativeReport, PipelineError> {
+    try_run_native_postproc_with(cfg, &Recorder::off())
+}
+
+/// [`try_run_native_postproc`] with a trace recorder.
+pub fn try_run_native_postproc_with(
+    cfg: &NativeConfig,
+    rec: &Recorder,
+) -> Result<NativeReport, PipelineError> {
     let t_run = Instant::now();
     let mut model = cfg.build_model();
     let mut adaptor = CatalystAdaptor::new();
@@ -824,7 +876,7 @@ pub fn run_native_postproc_with(cfg: &NativeConfig, rec: &Recorder) -> NativeRep
     let mut census = frame_census(&[]);
     for (frame, bytes) in store.iter().enumerate() {
         let t0 = Instant::now();
-        let snap = decode_raw(bytes);
+        let snap = decode_raw(frame as u64, bytes)?;
         let d_read = t0.elapsed();
         wall_io += d_read;
         wtr.phase(JobPhase::ReadInput, d_read);
@@ -848,7 +900,7 @@ pub fn run_native_postproc_with(cfg: &NativeConfig, rec: &Recorder) -> NativeRep
         rec.counter_add(wtr.now(), "native.image_bytes", image_bytes as f64);
     }
     rec.close(wtr.now(), root);
-    NativeReport {
+    Ok(NativeReport {
         frames: store.len() as u64,
         wall_sim,
         wall_viz,
@@ -859,7 +911,7 @@ pub fn run_native_postproc_with(cfg: &NativeConfig, rec: &Recorder) -> NativeRep
         cinema,
         tracks: tracker.finish(),
         final_census: census,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -934,13 +986,60 @@ mod tests {
             okubo_weiss: field(0.9),
         };
         let bytes = encode_raw(&snap);
-        let back = decode_raw(&bytes);
+        let back = decode_raw(0, &bytes).expect("round-trip decodes");
         assert_eq!(back.okubo_weiss.data(), snap.okubo_weiss.data());
         assert_eq!(back.ssh.data(), snap.ssh.data());
         assert_eq!(back.uc.data(), snap.uc.data());
         assert_eq!(back.vc.data(), snap.vc.data());
         assert_eq!(back.timestep, 123);
         assert_eq!(back.sim_hours, 61.5);
+    }
+
+    #[test]
+    fn corrupt_raw_bytes_fail_typed_not_panic() {
+        let field = |k: f64| Field2D::from_fn(8, 6, move |i, j| (i as f64 * k).sin() + j as f64);
+        let snap = VizSnapshot {
+            timestep: 7,
+            sim_hours: 3.5,
+            ssh: field(0.3),
+            uc: field(0.5),
+            vc: field(0.7),
+            okubo_weiss: field(0.9),
+        };
+        let good = encode_raw(&snap);
+        // Truncation at every prefix length must yield a typed error,
+        // never a panic (and never a bogus success).
+        for cut in [0, 1, 4, good.len() / 2, good.len() - 1] {
+            let err = decode_raw(3, &good[..cut]).expect_err("truncated bytes must fail");
+            match &err {
+                PipelineError::CorruptFrame { frame, detail } => {
+                    assert_eq!(*frame, 3);
+                    assert!(!detail.is_empty());
+                }
+                other => panic!("expected CorruptFrame, got {other}"),
+            }
+            assert!(err.to_string().contains("corrupt frame 3"), "{err}");
+        }
+        // Garbage bytes too.
+        assert!(decode_raw(0, b"not an ncdf file at all").is_err());
+        // A structurally valid file missing the expected variables.
+        let mut stripped = NcFile::new();
+        stripped.add_dim("y", 6);
+        stripped.add_dim("x", 8);
+        stripped.add_attr("timestep", "7".to_string());
+        stripped.add_attr("sim_hours", "3.5".to_string());
+        let err = decode_raw(1, &stripped.encode()).expect_err("missing vars must fail");
+        assert!(err.to_string().contains("\"ssh\""), "{err}");
+    }
+
+    #[test]
+    fn try_postproc_matches_infallible_path() {
+        let cfg = NativeConfig::tiny();
+        let a = try_run_native_postproc(&cfg).expect("healthy run decodes");
+        let b = run_native_postproc(&cfg);
+        assert_eq!(a.frames, b.frames);
+        assert_eq!(a.cinema.index_json(), b.cinema.index_json());
+        assert_eq!(a.tracks, b.tracks);
     }
 
     #[test]

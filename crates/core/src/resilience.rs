@@ -67,6 +67,15 @@ pub enum PipelineError {
         /// The last failure observed.
         source: PfsError,
     },
+    /// A stored frame failed to decode on read-back (truncated bytes,
+    /// missing variable or attribute, wrong dtype). Carried typed so a
+    /// corrupt file fails one frame, not the whole campaign via panic.
+    CorruptFrame {
+        /// Output index of the frame that failed to decode.
+        frame: u64,
+        /// What the decoder rejected.
+        detail: String,
+    },
 }
 
 impl PipelineError {
@@ -94,6 +103,9 @@ impl std::fmt::Display for PipelineError {
                 f,
                 "retries exhausted after {attempts} attempts at t={at} on {path}: {source}"
             ),
+            PipelineError::CorruptFrame { frame, detail } => {
+                write!(f, "corrupt frame {frame}: {detail}")
+            }
         }
     }
 }
@@ -103,6 +115,7 @@ impl std::error::Error for PipelineError {
         match self {
             PipelineError::Storage { source, .. }
             | PipelineError::RetriesExhausted { source, .. } => Some(source),
+            PipelineError::CorruptFrame { .. } => None,
         }
     }
 }

@@ -17,6 +17,8 @@
 //! for what-if analysis: storage vs sampling rate (Fig. 9) and energy vs
 //! sampling rate (Fig. 10) for a 100-simulated-year run.
 //!
+//! * [`adaptive`] — Eq. 6/7 fed by the *measured* effective rate of an
+//!   adaptive-trigger campaign, plus the candidate sweep's render cost.
 //! * [`linalg`] — the small dense solver (Gaussian elimination, least
 //!   squares via normal equations).
 //! * [`perf`] — Eq. 1–4 as a [`perf::PerfModel`].
@@ -29,6 +31,7 @@
 //! * [`query`] — canonical, memoizable what-if keys and the pure
 //!   evaluator behind the `ivis-serve` query service.
 
+pub mod adaptive;
 pub mod calibrate;
 pub mod linalg;
 pub mod perf;
@@ -41,6 +44,7 @@ pub mod uncertainty;
 pub mod validate;
 pub mod whatif;
 
+pub use adaptive::{AdaptivePlan, MeasuredRate};
 pub use calibrate::{calibrate_exact, calibrate_least_squares};
 pub use perf::PerfModel;
 pub use query::{CurvePoint, SpecId, WhatIfAnswer, WhatIfRequest};

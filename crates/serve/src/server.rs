@@ -1,8 +1,8 @@
 //! The deterministic query reactor.
 //!
-//! [`Server::run_load`] replays a [`LoadSchedule`](crate::load::LoadSchedule)
+//! [`Server::run_load`] replays a [`LoadSchedule`]
 //! through a discrete-event reactor built on
-//! [`DesEngine`](ivis_sim::DesEngine): client arrivals, micro-batch
+//! [`DesEngine`]: client arrivals, micro-batch
 //! deadlines and service completions are events on simulated time, while
 //! the *work* each event does — HTTP parsing, what-if model evaluation,
 //! sharded frame lookup, response serialization — is real computation on
@@ -18,7 +18,7 @@
 //!   single evaluation;
 //! * **memoization** — evaluated bodies land in a bounded FIFO
 //!   [`MemoCache`] keyed on the canonical
-//!   [`WhatIfRequest`](ivis_model::WhatIfRequest) tuple;
+//!   [`WhatIfRequest`] tuple;
 //! * **backpressure** — a bounded connection budget and a bounded
 //!   service queue; beyond either, requests are shed with a typed 503
 //!   (`Retry-After` set, reason in the body and the counters) without
@@ -658,7 +658,7 @@ impl World<'_> {
                         service_us += cost.frame_probe_us;
                         match self.index.lookup(self.db, timestep) {
                             Some(entry) => HttpResponse::ok_png(entry.data.clone()),
-                            None => HttpResponse::not_found("frame"),
+                            None => HttpResponse::not_found(&format!("frame {timestep}")),
                         }
                     }
                     Routed::Health => HttpResponse::ok_json("{\"status\":\"ok\"}".to_string()),
@@ -897,6 +897,21 @@ mod tests {
         let entry = srv.db().entry_by_timestep(16).unwrap();
         assert!(ok.ends_with(entry.data.as_slice()));
         assert!(responses[1].as_ref().unwrap().starts_with(b"HTTP/1.1 404"));
+        assert_eq!(report.stats.not_found, 1);
+    }
+
+    #[test]
+    fn missing_timestep_gets_typed_404_naming_the_frame() {
+        let srv = server(64);
+        // Far beyond every stored frame: absent from every shard, so the
+        // probe must miss cleanly and the body must say which frame.
+        let sched = schedule_of(vec![frame_target(1_000_000)]);
+        let report = srv.run_load(&sched, &Recorder::off(), true);
+        let responses = report.responses.unwrap();
+        let resp = responses[0].as_ref().unwrap();
+        assert!(resp.starts_with(b"HTTP/1.1 404"));
+        let body = String::from_utf8_lossy(resp);
+        assert!(body.contains("not found: frame 1000000"), "{body}");
         assert_eq!(report.stats.not_found, 1);
     }
 

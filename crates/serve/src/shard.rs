@@ -8,7 +8,7 @@
 //! host, or thread count.
 //!
 //! The index stores positions into the backing
-//! [`CinemaDatabase`](ivis_viz::CinemaDatabase) rather than borrowing
+//! [`CinemaDatabase`] rather than borrowing
 //! it, so the server can own both without self-reference.
 
 use ivis_viz::cinema::CinemaEntry;
@@ -51,10 +51,16 @@ impl ShardedFrameIndex {
     }
 
     /// Look up the frame at exactly `timestep`, probing only its shard.
+    ///
+    /// Total: a timestep absent from every shard, or an index that is
+    /// stale relative to `db` (position out of range, or pointing at a
+    /// different frame), returns `None` — never a panic — so the server
+    /// can degrade to a typed 404.
     pub fn lookup<'db>(&self, db: &'db CinemaDatabase, timestep: u64) -> Option<&'db CinemaEntry> {
         let shard = &self.shards[self.shard_of(timestep)];
         let pos = shard.binary_search_by_key(&timestep, |&(ts, _)| ts).ok()?;
-        Some(&db.entries()[shard[pos].1 as usize])
+        let entry = db.entries().get(shard[pos].1 as usize)?;
+        (entry.timestep == timestep).then_some(entry)
     }
 
     /// Total frames indexed (sum over shards).
@@ -100,6 +106,36 @@ mod tests {
         // timestep 16k lands in shard (16k % 8) = 0 for every frame here.
         assert_eq!(idx.shard_of(32), 0);
         assert_eq!(idx.shard_of(33), 1);
+    }
+
+    #[test]
+    fn missing_timestep_is_none_in_every_shard() {
+        // The synthetic db strides timesteps by 16, so 5 lands in
+        // between entries for any shard count.
+        let db = db(37);
+        for shards in [1, 2, 7, 64] {
+            let idx = ShardedFrameIndex::build(&db, shards);
+            assert!(idx.lookup(&db, 5).is_none(), "shards={shards}");
+            assert!(idx.lookup(&db, 37 * 16 + 16).is_none(), "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn stale_index_degrades_to_none_not_panic() {
+        // An index built over a larger database probed against a
+        // smaller one: positions past the end and positions that now
+        // name a different frame must both miss cleanly.
+        let big = db(37);
+        let small = db(2);
+        let idx = ShardedFrameIndex::build(&big, 4);
+        for ts in (0..37 * 16).step_by(16) {
+            let hit = idx.lookup(&small, ts);
+            if let Some(e) = hit {
+                assert_eq!(e.timestep, ts);
+            }
+        }
+        // Timestep 32 exists in `big` at position 2 — past `small`'s end.
+        assert!(idx.lookup(&small, 32).is_none());
     }
 
     #[test]

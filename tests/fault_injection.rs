@@ -188,6 +188,11 @@ proptest! {
             }
             // The typed failure paths are the only acceptable errors.
             Err(PipelineError::Storage { .. }) | Err(PipelineError::RetriesExhausted { .. }) => {}
+            // The campaign backend never decodes raw frame bytes, so a
+            // corrupt-frame error here would be a bug.
+            Err(e @ PipelineError::CorruptFrame { .. }) => {
+                prop_assert!(false, "campaign executor reported {e}")
+            }
         }
     }
 
